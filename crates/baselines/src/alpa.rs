@@ -1,0 +1,245 @@
+//! The Alpa-like baseline (§5.1): automatic inter/intra-operator parallelism
+//! with a GPipe-style pipeline (Alpa does not implement 1F1B-interleaving)
+//! and no sequence parallelism, searched over candidate plans.
+//!
+//! Substitution note (see DESIGN.md): Alpa's measured slowness on real
+//! hardware comes largely from XLA codegen quality (no fused attention,
+//! less-tuned GEMM schedules). We model that with a degraded GPU profile
+//! (≈0.45× kernel efficiency) — a calibration substitution, documented, that
+//! preserves the paper's qualitative result (Alpa ≈3× slower, OOM at scale).
+
+use optimus_cluster::DurNs;
+use optimus_cluster::GpuProfile;
+use optimus_modeling::memory::{activation_bytes_no_seqpar, Recompute};
+use optimus_modeling::{MemoryEstimate, StepReport, Workload};
+use optimus_parallel::{enumerate_plans, ParallelPlan};
+use optimus_pipeline::{balance_layers, gpipe, simulate_pipeline, PipelineSpec, StageSpec};
+
+use crate::common::{make_report, SystemContext};
+use crate::error::BaselineError;
+
+/// Efficiency multiplier modeling XLA-generated kernels.
+pub const ALPA_KERNEL_EFFICIENCY: f64 = 0.45;
+
+/// Result of the Alpa-like plan search.
+#[derive(Debug, Clone)]
+pub struct AlpaRun {
+    /// Headline numbers (marked `oom` when no plan fits memory).
+    pub report: StepReport,
+    /// The chosen plan (minimum simulated time, or minimum memory if
+    /// nothing fits).
+    pub plan: ParallelPlan,
+}
+
+fn degraded(gpu: &GpuProfile) -> GpuProfile {
+    let mut g = gpu.clone();
+    g.matmul_efficiency = gpu.matmul_efficiency * ALPA_KERNEL_EFFICIENCY;
+    g.attention_efficiency = gpu.attention_efficiency * ALPA_KERNEL_EFFICIENCY;
+    g
+}
+
+/// Memory estimate for a GPipe plan.
+///
+/// Two structural disadvantages versus optimized Megatron-LM (§7): no
+/// sequence parallelism (the 10·s·b·h activation term is replicated across
+/// TP ranks), and GPipe retention — with `pp > 1`, all `n_mb` microbatch
+/// activations of a stage stay resident until the backward drain.
+fn gpipe_memory(
+    w: &Workload,
+    plan: &ParallelPlan,
+    stage_params: &[u64],
+    enc_in_first: bool,
+    n_mb: u32,
+) -> MemoryEstimate {
+    let mb = u64::from(w.microbatch_size);
+    let tp = u64::from(plan.tp);
+    let split = plan.layer_split(w.mllm.llm.layers as u32);
+    let inflight = if plan.pp > 1 { u64::from(n_mb) } else { 1 };
+    let mut worst = MemoryEstimate::default();
+    for (s, &layers) in split.iter().enumerate() {
+        let mut act = u64::from(layers)
+            * activation_bytes_no_seqpar(&w.mllm.llm, mb, w.mllm.llm_seq, tp, Recompute::Selective);
+        if s == 0 && enc_in_first {
+            for e in &w.mllm.encoders {
+                act += e.layers
+                    * activation_bytes_no_seqpar(
+                        e,
+                        mb,
+                        w.mllm.encoder_seq,
+                        tp,
+                        Recompute::Selective,
+                    );
+            }
+        }
+        let params = stage_params[s];
+        let est = MemoryEstimate {
+            model_states: params * 6,
+            optimizer: params * 12 / u64::from(plan.dp),
+            activations: act * inflight,
+            overhead: MemoryEstimate::DEFAULT_OVERHEAD,
+        };
+        if est.total() > worst.total() {
+            worst = est;
+        }
+    }
+    worst
+}
+
+/// Runs the Alpa-like baseline: search (DP, PP, TP) plans, simulate GPipe on
+/// each memory-feasible plan, return the fastest.
+pub fn alpa(w: &Workload, ctx: &SystemContext) -> Result<AlpaRun, BaselineError> {
+    let ctx = ctx.with_gpu(degraded(&ctx.topo.gpu));
+    let candidates = enumerate_plans(w.num_gpus, ctx.topo.gpus_per_node, w.mllm.llm.layers as u32);
+
+    let mut best: Option<(f64, ParallelPlan, StepReport)> = None;
+    let mut min_mem: Option<(u64, ParallelPlan, MemoryEstimate)> = None;
+
+    for plan in candidates {
+        let Some(n_mb) = w.microbatches(plan.dp) else {
+            continue;
+        };
+        if plan.pp > 1 && n_mb == 0 {
+            continue;
+        }
+        let timer = ctx.timer(plan.tp)?;
+        let mb = u64::from(w.microbatch_size);
+
+        let mut stages = crate::common::llm_stages(&w.mllm.llm, &plan, mb, w.mllm.llm_seq, &timer);
+        // Alpa's inter-op DP places encoder layers on the early stages; as
+        // with the balanced baseline, approximate with the DP partition when
+        // single-encoder, else pack encoders into stage 0.
+        let mut enc_stage = StageSpec::default();
+        for e in &w.mllm.encoders {
+            enc_stage = enc_stage.then(StageSpec::transformer_layers(
+                e,
+                e.layers as u32,
+                mb,
+                w.mllm.encoder_seq,
+                u64::from(plan.tp),
+                &timer,
+            ));
+        }
+        let llm0 = std::mem::take(&mut stages[0]);
+        stages[0] = enc_stage.then(llm0);
+        let stage_params: Vec<u64> = stages.iter().map(|s| s.params_per_gpu).collect();
+
+        let memory = gpipe_memory(w, &plan, &stage_params, true, n_mb);
+        match &min_mem {
+            Some((m, _, _)) if *m <= memory.total() => {}
+            _ => min_mem = Some((memory.total(), plan, memory)),
+        }
+        if !memory.fits(ctx.topo.gpu.hbm_capacity) {
+            continue;
+        }
+
+        // Alpa does not overlap DP collectives: charge them unhidden.
+        let max_params = stage_params.iter().copied().max().unwrap_or(0);
+        let (dp_ag, dp_rs) = ctx.dp_comm(max_params, 1, plan.dp, plan.pp * plan.tp)?;
+        let act_bytes = stages.iter().map(|s| s.activation_bytes).max().unwrap_or(0);
+        let spec = PipelineSpec {
+            pp: plan.pp,
+            vpp: 1,
+            n_microbatches: n_mb,
+            stages,
+            dp_allgather: dp_ag,
+            dp_reducescatter: dp_rs,
+            p2p: ctx.p2p(act_bytes),
+        };
+        let schedule = gpipe(plan.pp, n_mb)?;
+        let (_lowered, result) = simulate_pipeline(&spec, &schedule, &[])?;
+        let secs = result.makespan().as_secs_f64();
+        let report = make_report("Alpa", w, &ctx, secs, &memory);
+        if best.as_ref().map(|(t, _, _)| secs < *t).unwrap_or(true) {
+            best = Some((secs, plan, report));
+        }
+    }
+
+    match best {
+        Some((_, plan, report)) => Ok(AlpaRun { report, plan }),
+        None => {
+            let (_, plan, memory) = min_mem.ok_or_else(|| {
+                BaselineError::Infeasible("no Alpa plan enumerable for this workload".into())
+            })?;
+            Ok(AlpaRun {
+                report: StepReport::oom("Alpa", memory.total_gib()),
+                plan,
+            })
+        }
+    }
+}
+
+/// Convenience: use the Appendix B balanced partition for Alpa's inter-op
+/// split of a single-encoder model; exposed for tests and ablations.
+pub fn alpa_balanced_layer_counts(
+    w: &Workload,
+    plan: &ParallelPlan,
+    ctx: &SystemContext,
+) -> Result<Vec<u32>, BaselineError> {
+    let timer = ctx.timer(plan.tp)?;
+    let mb = u64::from(w.microbatch_size);
+    let enc = &w.mllm.encoders[0];
+    let llm = &w.mllm.llm;
+    let enc_layer =
+        StageSpec::transformer_layers(enc, 1, mb, w.mllm.encoder_seq, u64::from(plan.tp), &timer);
+    let llm_layer =
+        StageSpec::transformer_layers(llm, 1, mb, w.mllm.llm_seq, u64::from(plan.tp), &timer);
+    let mut times: Vec<DurNs> = Vec::new();
+    times.extend(std::iter::repeat_n(
+        enc_layer.fwd_compute() + enc_layer.bwd_compute(),
+        enc.layers as usize,
+    ));
+    times.extend(std::iter::repeat_n(
+        llm_layer.fwd_compute() + llm_layer.bwd_compute(),
+        llm.layers as usize,
+    ));
+    Ok(balance_layers(&times, plan.pp)?.layers_per_stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::megatron::megatron_lm;
+    use optimus_modeling::MllmConfig;
+
+    #[test]
+    fn small_model_runs_but_slower_than_megatron() {
+        // Table 4: Alpa 8.61 s vs Megatron-LM 3.42 s (≈2.5× slower).
+        let w = Workload::small_model();
+        let ctx = SystemContext::ampere(8).unwrap();
+        let a = alpa(&w, &ctx).unwrap();
+        assert!(!a.report.oom, "peak {:.1} GiB", a.report.peak_memory_gib);
+        let m = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+        let ratio = a.report.iteration_secs / m.report.iteration_secs;
+        assert!(ratio > 1.5, "Alpa only {ratio:.2}× slower");
+    }
+
+    #[test]
+    fn weak_scaling_model_ooms() {
+        // Fig. 15: Alpa OOMs on the Table 3 models (GPipe activation
+        // retention, no sequence parallelism).
+        let w = Workload::new(MllmConfig::model_a(), 64, 32, 1);
+        let ctx = SystemContext::hopper(64).unwrap();
+        let a = alpa(&w, &ctx).unwrap();
+        assert!(a.report.oom, "peak {:.1} GiB", a.report.peak_memory_gib);
+    }
+
+    #[test]
+    fn balanced_layer_counts_cover_all_layers() {
+        let w = Workload::small_model();
+        let ctx = SystemContext::ampere(8).unwrap();
+        let plan = ParallelPlan::new(1, 4, 2).unwrap();
+        let counts = alpa_balanced_layer_counts(&w, &plan, &ctx).unwrap();
+        assert_eq!(counts.len(), 4);
+        assert_eq!(counts.iter().sum::<u32>(), 48 + 80);
+        // The encoder-heavy front stages take more (cheap) layers.
+        assert!(counts[0] > counts[3], "{counts:?}");
+    }
+
+    #[test]
+    fn degraded_profile_scales_efficiency() {
+        let g = degraded(&GpuProfile::h100());
+        assert!(g.matmul_efficiency < GpuProfile::h100().matmul_efficiency);
+        let expected = GpuProfile::h100().matmul_efficiency * ALPA_KERNEL_EFFICIENCY;
+        assert!((g.matmul_efficiency - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! The Megatron-LM-balanced strawman baseline (§5.1, Appendix B): the
+//! concatenated encoder+LLM layer list is partitioned across `V × PP`
+//! virtual stages by dynamic programming, then trained with the interleaved
+//! 1F1B schedule.
+
+use optimus_cluster::DurNs;
+use optimus_modeling::memory::Recompute;
+use optimus_modeling::{MemoryEstimate, StepReport, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_pipeline::{
+    balance_layers, interleaved_1f1b, simulate_pipeline, PipelineSpec, StageSpec,
+};
+
+use crate::common::{make_report, pipeline_memory, stage_activation_bytes, SystemContext};
+use crate::error::BaselineError;
+use crate::megatron::MegatronRun;
+
+/// Runs the Megatron-LM-balanced baseline with `v` model chunks per rank.
+///
+/// Only single-encoder MLLMs are supported: the Appendix B dynamic program
+/// requires a linear layer sequence (the paper excludes this baseline from
+/// the multi-encoder experiment for the same reason).
+pub fn megatron_balanced(
+    w: &Workload,
+    (dp, pp, tp): (u32, u32, u32),
+    v: u32,
+    ctx: &SystemContext,
+) -> Result<MegatronRun, BaselineError> {
+    if w.mllm.encoders.len() != 1 {
+        return Err(BaselineError::Infeasible(
+            "balanced DP partitioning only applies to single-encoder MLLMs".into(),
+        ));
+    }
+    let plan =
+        ParallelPlan::with_vpp(dp, pp, tp, v).map_err(|e| BaselineError::Setup(e.to_string()))?;
+    plan.check(w.num_gpus, ctx.topo.gpus_per_node)
+        .map_err(|e| BaselineError::Setup(e.to_string()))?;
+    let n_mb = w
+        .microbatches(dp)
+        .ok_or_else(|| BaselineError::Infeasible(format!("batch {} ∤ dp {dp}", w.global_batch)))?;
+    if n_mb % pp != 0 {
+        return Err(BaselineError::Infeasible(format!(
+            "interleaved schedule needs pp ({pp}) | microbatches ({n_mb})"
+        )));
+    }
+
+    let timer = ctx.timer(tp)?;
+    let mb = u64::from(w.microbatch_size);
+    let enc = &w.mllm.encoders[0];
+    let llm = &w.mllm.llm;
+
+    // Per-layer building blocks.
+    let enc_layer =
+        StageSpec::transformer_layers(enc, 1, mb, w.mllm.encoder_seq, u64::from(tp), &timer);
+    let llm_layer =
+        StageSpec::transformer_layers(llm, 1, mb, w.mllm.llm_seq, u64::from(tp), &timer);
+
+    // Appendix B: layer times estimated from compute FLOPs.
+    let enc_layers = enc.layers as usize;
+    let llm_layers = llm.layers as usize;
+    let mut layer_times: Vec<DurNs> = Vec::with_capacity(enc_layers + llm_layers);
+    layer_times.extend(std::iter::repeat_n(
+        enc_layer.fwd_compute() + enc_layer.bwd_compute(),
+        enc_layers,
+    ));
+    layer_times.extend(std::iter::repeat_n(
+        llm_layer.fwd_compute() + llm_layer.bwd_compute(),
+        llm_layers,
+    ));
+
+    let partition = balance_layers(&layer_times, pp * v)?;
+
+    // Build one StageSpec per virtual stage, mixing encoder and LLM layers
+    // where a stage spans the boundary.
+    let mut stages: Vec<StageSpec> = Vec::with_capacity((pp * v) as usize);
+    let mut act_per_stage: Vec<u64> = Vec::with_capacity((pp * v) as usize);
+    let mut cursor = 0usize;
+    for &count in &partition.layers_per_stage {
+        let count = count as usize;
+        let (start, end) = (cursor, cursor + count);
+        cursor = end;
+        let n_enc = end.min(enc_layers).saturating_sub(start.min(enc_layers)) as u32;
+        let n_llm = (count as u32) - n_enc;
+        let mut stage = StageSpec::default();
+        let mut act = 0u64;
+        if n_enc > 0 {
+            stage = stage.then(StageSpec::transformer_layers(
+                enc,
+                n_enc,
+                mb,
+                w.mllm.encoder_seq,
+                u64::from(tp),
+                &timer,
+            ));
+            act += stage_activation_bytes(
+                enc,
+                n_enc,
+                mb,
+                w.mllm.encoder_seq,
+                tp,
+                Recompute::Selective,
+            );
+        }
+        if n_llm > 0 {
+            stage = stage.then(StageSpec::transformer_layers(
+                llm,
+                n_llm,
+                mb,
+                w.mllm.llm_seq,
+                u64::from(tp),
+                &timer,
+            ));
+            act += stage_activation_bytes(llm, n_llm, mb, w.mllm.llm_seq, tp, Recompute::Selective);
+        }
+        stages.push(stage);
+        act_per_stage.push(act);
+    }
+
+    let max_params = {
+        // Per-rank parameters: sum over that rank's chunks.
+        (0..pp)
+            .map(|r| {
+                (0..v)
+                    .map(|c| stages[(c * pp + r) as usize].params_per_gpu)
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0)
+    };
+    let (dp_ag, dp_rs) = ctx.dp_comm(max_params, v, dp, pp * tp)?;
+    let act_bytes = stages.iter().map(|s| s.activation_bytes).max().unwrap_or(0);
+    let spec = PipelineSpec {
+        pp,
+        vpp: v,
+        n_microbatches: n_mb,
+        stages,
+        dp_allgather: dp_ag,
+        dp_reducescatter: dp_rs,
+        p2p: ctx.p2p(act_bytes),
+    };
+    let schedule = interleaved_1f1b(pp, v, n_mb, None)?;
+    let (lowered, result) = simulate_pipeline(&spec, &schedule, &[])?;
+
+    let params: Vec<u64> = spec.stages.iter().map(|s| s.params_per_gpu).collect();
+    let memory: MemoryEstimate = pipeline_memory(&params, &act_per_stage, pp, v, dp, n_mb);
+    let report: StepReport = make_report(
+        "Megatron-LM balanced",
+        w,
+        ctx,
+        result.makespan().as_secs_f64(),
+        &memory,
+    );
+
+    Ok(MegatronRun {
+        report,
+        plan,
+        spec,
+        schedule,
+        lowered,
+        result,
+        memory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::megatron::megatron_lm;
+    use optimus_modeling::MllmConfig;
+
+    #[test]
+    fn balanced_beats_unbalanced_megatron() {
+        // The whole point of the strawman: balancing the encoder across
+        // stages removes the stage-0 bottleneck.
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let plain = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+        let bal = megatron_balanced(&w, (2, 2, 2), 2, &ctx).unwrap();
+        assert!(
+            bal.report.iteration_secs < plain.report.iteration_secs,
+            "balanced {} vs plain {}",
+            bal.report.iteration_secs,
+            plain.report.iteration_secs
+        );
+    }
+
+    #[test]
+    fn stage_layer_totals_preserved() {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let run = megatron_balanced(&w, (2, 2, 2), 2, &ctx).unwrap();
+        // 48 encoder + 80 LLM layers split into 4 virtual stages; total
+        // kernel counts must match the unsplit model.
+        let total_fwd_kernels: usize = run.spec.stages.iter().map(|s| s.fwd.len()).sum();
+        let per_layer = 13; // kernel decomposition length
+        assert_eq!(total_fwd_kernels, (48 + 80) * per_layer);
+    }
+
+    #[test]
+    fn multi_encoder_rejected() {
+        let w = Workload::new(MllmConfig::dual_enc_11_5(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        assert!(matches!(
+            megatron_balanced(&w, (2, 2, 2), 2, &ctx),
+            Err(BaselineError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn indivisible_microbatches_rejected() {
+        let w = Workload::new(MllmConfig::small(), 8, 10, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        // dp=2 → 5 microbatches, pp=2 ∤ 5.
+        assert!(matches!(
+            megatron_balanced(&w, (2, 2, 2), 2, &ctx),
+            Err(BaselineError::Infeasible(_))
+        ));
+    }
+}

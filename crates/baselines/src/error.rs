@@ -1,0 +1,34 @@
+//! Baseline-crate errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from baseline-system construction or simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// Cluster / group construction failed.
+    Setup(String),
+    /// The workload cannot be expressed under this system (e.g. global batch
+    /// smaller than the data-parallel width).
+    Infeasible(String),
+    /// Schedule generation or lowering failed.
+    Pipeline(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Setup(s) => write!(f, "setup error: {s}"),
+            BaselineError::Infeasible(s) => write!(f, "infeasible workload: {s}"),
+            BaselineError::Pipeline(s) => write!(f, "pipeline error: {s}"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+impl From<optimus_pipeline::PipelineError> for BaselineError {
+    fn from(e: optimus_pipeline::PipelineError) -> BaselineError {
+        BaselineError::Pipeline(e.to_string())
+    }
+}

@@ -1,0 +1,40 @@
+//! Comparator training systems for the Optimus evaluation (§5.1).
+//!
+//! Four baselines, each built on the shared cluster/pipeline substrate:
+//!
+//! * [`megatron::megatron_lm`] — Megatron-LM with encoders packed into the
+//!   first pipeline stage and a plain 1F1B schedule;
+//! * [`balanced::megatron_balanced`] — the strawman that balances the
+//!   concatenated layer list across `V × PP` virtual stages with the
+//!   Appendix B dynamic program and interleaved 1F1B;
+//! * [`fsdp::fsdp`] — PyTorch-FSDP-style sharded data parallelism;
+//! * [`alpa::alpa`] — an Alpa-like automatic-parallelism search with a
+//!   GPipe schedule.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_baselines::{megatron_lm, SystemContext};
+//! use optimus_modeling::Workload;
+//!
+//! let w = Workload::small_model();
+//! let ctx = SystemContext::hopper(8).unwrap();
+//! let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+//! assert!(run.report.iteration_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod alpa;
+pub mod balanced;
+pub mod common;
+pub mod error;
+pub mod fsdp;
+pub mod megatron;
+
+pub use alpa::{alpa, AlpaRun};
+pub use balanced::megatron_balanced;
+pub use common::{make_report, workload_model_flops, SystemContext};
+pub use error::BaselineError;
+pub use fsdp::fsdp;
+pub use megatron::{megatron_lm, MegatronRun};

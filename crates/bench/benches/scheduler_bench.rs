@@ -1,0 +1,64 @@
+//! Criterion microbenchmarks of the hot paths: the discrete-event engine,
+//! the bubble scheduler's per-partition packing, and the balanced
+//! partitioner.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use optimus_baselines::common::SystemContext;
+use optimus_cluster::DurNs;
+use optimus_core::{BubbleScheduler, EncoderWork, LlmProfile};
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::{ColocationLayout, ParallelPlan};
+use optimus_pipeline::balance_layers;
+use optimus_sim::{simulate, Stream, TaskGraph, TaskKind};
+
+fn bench_engine(c: &mut Criterion) {
+    // A 4-device pipeline-shaped graph with ~4k tasks.
+    let mut g = TaskGraph::new(4);
+    let mut prev: Vec<Option<optimus_sim::TaskId>> = vec![None; 4];
+    for i in 0..1000u64 {
+        for d in 0..4u32 {
+            let deps = prev[d as usize].map(|t| vec![t]).unwrap_or_default();
+            let id = g.push(
+                "k",
+                d,
+                Stream::Compute,
+                DurNs(1000 + i % 7),
+                TaskKind::Generic,
+                deps,
+            );
+            prev[d as usize] = Some(id);
+        }
+    }
+    c.bench_function("engine_simulate_4k_tasks", |b| {
+        b.iter(|| simulate(&g).unwrap())
+    });
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let llm_plan = ParallelPlan::new(2, 2, 2).unwrap();
+    let enc_plan = ParallelPlan::new(4, 1, 2).unwrap();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let profile = LlmProfile::build(&w, &llm_plan, &ctx).unwrap();
+    let work = EncoderWork::build(&w.mllm, &enc_plan, 1, &ctx).unwrap();
+    let layout = ColocationLayout::new(llm_plan, enc_plan).unwrap();
+    let s = BubbleScheduler::new(&profile, &work, &layout).unwrap();
+    c.bench_function("bubble_scheduler_one_partition", |b| {
+        b.iter(|| s.schedule_partition(&[4, 4], true).unwrap())
+    });
+    c.bench_function("bubble_scheduler_search_64_partitions", |b| {
+        b.iter(|| s.schedule(64, true).unwrap())
+    });
+}
+
+fn bench_balance(c: &mut Criterion) {
+    let times: Vec<DurNs> = (0..144)
+        .map(|i| DurNs(1_000_000 + (i % 13) * 50_000))
+        .collect();
+    c.bench_function("balanced_partition_144_layers_96_stages", |b| {
+        b.iter(|| balance_layers(&times, 96).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_engine, bench_scheduler, bench_balance);
+criterion_main!(benches);

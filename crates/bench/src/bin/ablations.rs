@@ -1,0 +1,7 @@
+//! Runs the design-choice ablations (fine vs coarse, Fig. 12 adjustment,
+//! frozen encoders, jitter robustness).
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::ablations::run();
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Runs the heterogeneous-load extension study.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::extension_hetero::run();
+    println!("{report}");
+}

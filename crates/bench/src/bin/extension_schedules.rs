@@ -1,0 +1,6 @@
+//! Runs the pipeline-schedule family comparison.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::extension_schedules::run();
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Runs the zero-bubble pipeline extension study.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::extension_zb::run();
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig12 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::fig12::run();
+    println!("{report}");
+}

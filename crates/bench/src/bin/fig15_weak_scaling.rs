@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig15 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::fig15::run();
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig16 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::fig16::run();
+    println!("{report}");
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig17 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::fig17::run();
+    println!("{report}");
+}

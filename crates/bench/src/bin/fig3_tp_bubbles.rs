@@ -1,0 +1,6 @@
+//! Regenerates the paper's fig3 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::fig3::run();
+    println!("{report}");
+}

@@ -1,0 +1,28 @@
+//! Runs every experiment in sequence, printing each table/figure report —
+//! the source for EXPERIMENTS.md.
+
+use optimus_bench::experiments as ex;
+
+fn main() {
+    let order: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+        ("Table 1", Box::new(|| ex::table1::run().0)),
+        ("Figure 3", Box::new(|| ex::fig3::run().0)),
+        ("Figure 12", Box::new(|| ex::fig12::run().0)),
+        ("Table 4", Box::new(|| ex::table4::run().0)),
+        ("Figure 15", Box::new(|| ex::fig15::run().0)),
+        ("Table 5", Box::new(|| ex::table5::run().0)),
+        ("Figure 16", Box::new(|| ex::fig16::run().0)),
+        ("Figure 17", Box::new(|| ex::fig17::run().0)),
+        ("Table 7", Box::new(|| ex::table7::run().0)),
+        ("Ablations", Box::new(|| ex::ablations::run().0)),
+        (
+            "Zero-bubble extension",
+            Box::new(|| ex::extension_zb::run().0),
+        ),
+    ];
+    for (name, f) in order {
+        let start = std::time::Instant::now();
+        println!("{}", f());
+        eprintln!("[{name} done in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper's table1 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::table1::run();
+    println!("{report}");
+}

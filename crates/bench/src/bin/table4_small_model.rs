@@ -1,0 +1,6 @@
+//! Regenerates the paper's table4 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::table4::run();
+    println!("{report}");
+}

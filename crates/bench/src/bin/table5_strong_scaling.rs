@@ -1,0 +1,6 @@
+//! Regenerates the paper's table5 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::table5::run();
+    println!("{report}");
+}

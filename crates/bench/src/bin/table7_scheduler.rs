@@ -1,0 +1,6 @@
+//! Regenerates the paper's table7 experiment.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::table7::run();
+    println!("{report}");
+}

@@ -1,0 +1,210 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * fine-grained vs coarse-only bubble exploitation (§4.2);
+//! * dependency-point adjustment on/off (§4.3, Fig. 12);
+//! * frozen-encoder multi-stage training (§6);
+//! * robustness to kernel-runtime jitter and the bubble-margin mitigation
+//!   (§6 "online scheduling").
+
+use optimus_baselines::common::SystemContext;
+use optimus_core::{drift_study, jitter_study, run_optimus, OptimusConfig};
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+fn model_d_512() -> (Workload, SystemContext, ParallelPlan) {
+    let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+    let ctx = SystemContext::hopper(512).expect("cluster");
+    (w, ctx, ParallelPlan::with_vpp(8, 8, 8, 12).expect("plan"))
+}
+
+/// Fine-grained vs coarse-only exploitation across the weak-scaling models.
+pub fn fine_vs_coarse() -> (String, Vec<(String, f64, f64)>) {
+    let mut out =
+        String::from("== Ablation: fine-grained vs coarse-only bubble exploitation ==\n\n");
+    let mut t = TextTable::new(vec!["Model", "coarse-only (s)", "fine (s)", "fine gain"]);
+    let mut rows = Vec::new();
+    for (w, plan, v) in Workload::weak_scaling() {
+        let ctx = SystemContext::hopper(w.num_gpus).expect("cluster");
+        let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, v).expect("plan");
+        let mut cfg = OptimusConfig::new(llm_plan);
+        cfg.fine_grained = false;
+        let coarse = run_optimus(&w, &cfg, &ctx).expect("coarse");
+        cfg.fine_grained = true;
+        let fine = run_optimus(&w, &cfg, &ctx).expect("fine");
+        t.row(vec![
+            w.mllm.name.clone(),
+            format!("{:.3}", coarse.report.iteration_secs),
+            format!("{:.3}", fine.report.iteration_secs),
+            format!(
+                "{:+.1}%",
+                (coarse.report.iteration_secs / fine.report.iteration_secs - 1.0) * 100.0
+            ),
+        ]);
+        rows.push((
+            w.mllm.name.clone(),
+            coarse.report.iteration_secs,
+            fine.report.iteration_secs,
+        ));
+    }
+    out.push_str(&t.render());
+    (out, rows)
+}
+
+/// Dependency-point adjustment on/off (Model D, 512 GPUs).
+pub fn adjustment() -> (String, (f64, f64)) {
+    let (w, ctx, llm_plan) = model_d_512();
+    let mut cfg = OptimusConfig::new(llm_plan);
+    cfg.adjust_dep_points = false;
+    let unadj = run_optimus(&w, &cfg, &ctx).expect("unadjusted");
+    cfg.adjust_dep_points = true;
+    let adj = run_optimus(&w, &cfg, &ctx).expect("adjusted");
+    let mut out =
+        String::from("== Ablation: Fig. 12 dependency-point adjustment (Model D, 512 GPUs) ==\n\n");
+    let mut t = TextTable::new(vec!["variant", "iteration (s)", "Eff_fine"]);
+    t.row(vec![
+        "default F points".to_string(),
+        format!("{:.3}", unadj.report.iteration_secs),
+        format!("{:.1}%", unadj.eff_fine * 100.0),
+    ]);
+    t.row(vec![
+        "adjusted F points".to_string(),
+        format!("{:.3}", adj.report.iteration_secs),
+        format!("{:.1}%", adj.eff_fine * 100.0),
+    ]);
+    out.push_str(&t.render());
+    (
+        out,
+        (unadj.report.iteration_secs, adj.report.iteration_secs),
+    )
+}
+
+/// Frozen-encoder multi-stage training (§6) on Model D.
+pub fn frozen_encoder() -> (String, (f64, f64)) {
+    let (w, ctx, llm_plan) = model_d_512();
+    let mut cfg = OptimusConfig::new(llm_plan);
+    let full = run_optimus(&w, &cfg, &ctx).expect("full");
+    cfg.frozen_encoder = true;
+    let frozen = run_optimus(&w, &cfg, &ctx).expect("frozen");
+    let mut out = String::from(
+        "== Ablation: frozen-encoder (adapter-only backward) training, Model D ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "variant",
+        "iteration (s)",
+        "Eff_fine",
+        "prefix (ms)",
+        "suffix (ms)",
+    ]);
+    for (name, r) in [("full training", &full), ("frozen encoder", &frozen)] {
+        t.row(vec![
+            name.to_string(),
+            format!("{:.3}", r.report.iteration_secs),
+            format!("{:.1}%", r.eff_fine * 100.0),
+            format!("{:.1}", r.outcome.prefix as f64 / 1e6),
+            format!("{:.1}", r.outcome.suffix as f64 / 1e6),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nfrozen encoders skip the encoder backward, so the remaining work hides even more easily\n");
+    (
+        out,
+        (full.report.iteration_secs, frozen.report.iteration_secs),
+    )
+}
+
+/// Kernel-jitter robustness with and without a bubble safety margin.
+pub fn robustness() -> (String, Vec<(f64, f64, f64)>) {
+    let w = Workload::small_model();
+    let ctx = SystemContext::hopper(8).expect("cluster");
+    let mut out = String::from(
+        "== Ablation: robustness to kernel-runtime jitter (ViT-3B+GPT-11B, 8 GPUs) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "margin",
+        "jitter",
+        "baseline (s)",
+        "p50 inflation",
+        "p95 inflation",
+    ]);
+    let mut rows = Vec::new();
+    for margin in [0.0, 0.15] {
+        let mut cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).expect("plan"));
+        cfg.adjust_dep_points = false;
+        cfg.bubble_margin = margin;
+        let run = run_optimus(&w, &cfg, &ctx).expect("optimus");
+        if run.enc_plan.tp != 2 {
+            continue;
+        }
+        for jitter in [0.05, 0.10, 0.20] {
+            let rep = jitter_study(&run, &w, &ctx, jitter, 15).expect("study");
+            t.row(vec![
+                format!("{:.0}%", margin * 100.0),
+                format!("{:.0}%", jitter * 100.0),
+                format!("{:.4}", rep.baseline_secs),
+                format!("{:+.2}%", rep.p50_inflation() * 100.0),
+                format!("{:+.2}%", rep.p95_inflation() * 100.0),
+            ]);
+            rows.push((margin, jitter, rep.p95_inflation()));
+        }
+    }
+    out.push_str(&t.render());
+    out.push_str("\nthe paper (§6) notes profiled-time deviations cause suboptimal schedules; dependencies keep the schedule *correct* under any jitter, and the margin knob trades mean latency for tail stability\n");
+    (out, rows)
+}
+
+/// Online rescheduling under systematic encoder drift (§6).
+pub fn online_rescheduling() -> (String, Vec<(f64, f64)>) {
+    let w = Workload::small_model();
+    let ctx = SystemContext::hopper(8).expect("cluster");
+    let mut cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).expect("plan"));
+    cfg.adjust_dep_points = false;
+    let run = run_optimus(&w, &cfg, &ctx).expect("optimus");
+    let mut out =
+        String::from("== Ablation: online rescheduling under systematic encoder drift (§6) ==\n\n");
+    let mut rows = Vec::new();
+    if run.enc_plan.tp != 2 {
+        out.push_str("(skipped: chosen encoder plan not re-simulatable)\n");
+        return (out, rows);
+    }
+    let mut t = TextTable::new(vec![
+        "encoder drift",
+        "baseline (s)",
+        "stale schedule (s)",
+        "rescheduled (s)",
+        "recovered",
+    ]);
+    for drift in [1.1, 1.3, 1.6] {
+        let rep = drift_study(&run, &w, &ctx, &cfg, drift).expect("drift study");
+        t.row(vec![
+            format!("{:+.0}%", (drift - 1.0) * 100.0),
+            format!("{:.4}", rep.baseline_secs),
+            format!("{:.4}", rep.stale_secs),
+            format!("{:.4}", rep.rescheduled_secs),
+            format!("{:.0}%", rep.recovery() * 100.0),
+        ]);
+        rows.push((drift, rep.recovery()));
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nfinding: for small drift the dependency-driven execution absorbs the error by \
+         itself (a stale schedule only sets *orders*, not times); rescheduling pays off as \
+         drift grows — supporting the paper's monitoring-based adjustment proposal\n",
+    );
+    (out, rows)
+}
+
+/// Runs all ablations.
+pub fn run() -> (String, ()) {
+    let mut out = String::new();
+    out.push_str(&fine_vs_coarse().0);
+    out.push('\n');
+    out.push_str(&adjustment().0);
+    out.push('\n');
+    out.push_str(&frozen_encoder().0);
+    out.push('\n');
+    out.push_str(&robustness().0);
+    out.push('\n');
+    out.push_str(&online_rescheduling().0);
+    (out, ())
+}

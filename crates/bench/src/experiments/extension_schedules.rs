@@ -1,0 +1,145 @@
+//! Extension: pipeline-schedule family comparison (§6 "other pipeline
+//! schedules" names Chimera and the zero-bubble pipeline).
+//!
+//! One GPT-175B pipeline (PP=8, TP=8, 16 microbatches — the 3072-GPU
+//! strong-scaling shape) lowered under four schedules; same total compute,
+//! different bubble structure.
+
+use optimus_baselines::common::{llm_stages, SystemContext};
+use optimus_cluster::DurNs;
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_pipeline::{
+    interleaved_1f1b, one_f_one_b, simulate_bidirectional, simulate_pipeline, zero_bubble_h1,
+    BidirSpec, PipelineSpec, StageSpec,
+};
+use optimus_sim::{mean_compute_utilization, BubbleBreakdown};
+use optimus_trace::TextTable;
+
+/// Runs the schedule comparison; returns (report, (schedule name, seconds,
+/// utilization) rows).
+pub fn run() -> (String, Vec<(String, f64, f64)>) {
+    let w = Workload::new(MllmConfig::model_d(), 3072, 1536, 2);
+    let ctx = SystemContext::hopper(3072).expect("cluster");
+    let plan = ParallelPlan::new(48, 8, 8).expect("plan");
+    let n_mb = w.microbatches(plan.dp).expect("microbatches");
+    let timer = ctx.timer(plan.tp).expect("timer");
+    let mb = u64::from(w.microbatch_size);
+
+    let base_stages = llm_stages(&w.mllm.llm, &plan, mb, w.mllm.llm_seq, &timer);
+    let max_params = base_stages
+        .iter()
+        .map(|s| s.params_per_gpu)
+        .max()
+        .unwrap_or(0);
+    let (dp_ag, dp_rs) = ctx
+        .dp_comm(max_params, 1, plan.dp, plan.pp * plan.tp)
+        .expect("dp");
+    let act = base_stages
+        .iter()
+        .map(|s| s.activation_bytes)
+        .max()
+        .unwrap_or(0);
+    let p2p = ctx.p2p(act);
+
+    let spec = |stages: Vec<StageSpec>, vpp: u32| PipelineSpec {
+        pp: plan.pp,
+        vpp,
+        n_microbatches: n_mb,
+        stages,
+        dp_allgather: dp_ag,
+        dp_reducescatter: dp_rs,
+        p2p,
+    };
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let mut record = |name: &str, g: &optimus_sim::TaskGraph, r: &optimus_sim::SimResult| {
+        rows.push((
+            name.to_string(),
+            r.makespan().as_secs_f64(),
+            mean_compute_utilization(g, r),
+        ));
+        BubbleBreakdown::measure(g, r).total_fraction()
+    };
+    let mut bubbles = Vec::new();
+
+    // 1F1B.
+    let (l, r) = simulate_pipeline(
+        &spec(base_stages.clone(), 1),
+        &one_f_one_b(plan.pp, n_mb).unwrap(),
+        &[],
+    )
+    .expect("1f1b");
+    bubbles.push(record("1F1B", &l.graph, &r));
+
+    // Interleaved 1F1B, V=12.
+    let vplan = ParallelPlan::with_vpp(plan.dp, plan.pp, plan.tp, 12).expect("vplan");
+    let vstages = llm_stages(&w.mllm.llm, &vplan, mb, w.mllm.llm_seq, &timer);
+    let (l, r) = simulate_pipeline(
+        &spec(vstages, 12),
+        &interleaved_1f1b(plan.pp, 12, n_mb, None).unwrap(),
+        &[],
+    )
+    .expect("interleaved");
+    bubbles.push(record("interleaved 1F1B (V=12)", &l.graph, &r));
+
+    // Zero-bubble (split backward).
+    let zb_stages: Vec<StageSpec> = plan
+        .layer_split(w.mllm.llm.layers as u32)
+        .into_iter()
+        .map(|n| {
+            StageSpec::transformer_layers_split(
+                &w.mllm.llm,
+                n,
+                mb,
+                w.mllm.llm_seq,
+                u64::from(plan.tp),
+                &timer,
+            )
+        })
+        .collect();
+    let (l, r) = simulate_pipeline(
+        &spec(zb_stages, 1),
+        &zero_bubble_h1(plan.pp, n_mb).unwrap(),
+        &[],
+    )
+    .expect("zb");
+    bubbles.push(record("zero-bubble (split backward)", &l.graph, &r));
+
+    // Chimera (bidirectional; doubles weight memory).
+    let bidir = BidirSpec {
+        pp: plan.pp,
+        n_microbatches: n_mb,
+        stages_down: base_stages.clone(),
+        stages_up: base_stages,
+        dp_allgather: dp_ag,
+        dp_reducescatter: DurNs(dp_rs.0),
+        p2p,
+    };
+    let (g, r) = simulate_bidirectional(&bidir).expect("chimera");
+    bubbles.push(record("Chimera (bidirectional)", &g, &r));
+
+    let mut out = String::from(
+        "== Extension: pipeline-schedule families on GPT-175B (PP=8, TP=8, 16 microbatches) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "schedule",
+        "LLM-only step (s)",
+        "compute util",
+        "bubble frac",
+    ]);
+    for ((name, secs, util), bf) in rows.iter().zip(&bubbles) {
+        t.row(vec![
+            name.clone(),
+            format!("{secs:.3}"),
+            format!("{:.1}%", util * 100.0),
+            format!("{:.1}%", bf * 100.0),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push_str(
+        "\nall four schedules are substrates Optimus can profile and fill (§6: the bubble \
+         scheduling is orthogonal); Chimera trades 2x weight memory for its fill/drain savings\n",
+    );
+    (out, rows)
+}

@@ -1,0 +1,66 @@
+//! Extension (§6 "other pipeline schedules"): Optimus atop a zero-bubble
+//! pipeline.
+//!
+//! The paper argues its bubble scheduling is orthogonal to the pipeline
+//! schedule. We demonstrate it: the LLM backbone runs under (a) plain 1F1B
+//! and (b) a zero-bubble-inspired split-backward schedule; Optimus builds a
+//! bubble profile from each and schedules the encoder into whatever bubbles
+//! remain.
+
+use optimus_baselines::common::SystemContext;
+use optimus_core::{run_optimus, LlmProfile, LlmScheduleKind, OptimusConfig};
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// Runs the zero-bubble extension study; returns (report, (llm speedup,
+/// optimus-on-zb vs optimus-on-1f1b ratio)).
+pub fn run() -> (String, (f64, f64)) {
+    // Model D at 512 GPUs with vpp = 1 so both schedules are comparable.
+    let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+    let ctx = SystemContext::hopper(512).expect("cluster");
+    let plan = ParallelPlan::new(8, 8, 8).expect("plan");
+
+    // LLM-only pipelines under both schedules.
+    let p_1f1b =
+        LlmProfile::build_full(&w, &plan, &ctx, true, LlmScheduleKind::OneFOneB).expect("1f1b");
+    let p_zb =
+        LlmProfile::build_full(&w, &plan, &ctx, true, LlmScheduleKind::ZeroBubble).expect("zb");
+
+    // Optimus atop each.
+    let mut cfg = OptimusConfig::new(plan);
+    let o_1f1b = run_optimus(&w, &cfg, &ctx).expect("optimus 1f1b");
+    cfg.llm_schedule = LlmScheduleKind::ZeroBubble;
+    let o_zb = run_optimus(&w, &cfg, &ctx).expect("optimus zb");
+
+    let mut out = String::from(
+        "== Extension: Optimus atop a zero-bubble pipeline (Model D, 512 GPUs, vpp=1) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "configuration",
+        "LLM-only (s)",
+        "with Optimus (s)",
+        "Eff_fine",
+    ]);
+    t.row(vec![
+        "1F1B".to_string(),
+        format!("{:.3}", p_1f1b.makespan as f64 / 1e9),
+        format!("{:.3}", o_1f1b.report.iteration_secs),
+        format!("{:.1}%", o_1f1b.eff_fine * 100.0),
+    ]);
+    t.row(vec![
+        "zero-bubble (split backward)".to_string(),
+        format!("{:.3}", p_zb.makespan as f64 / 1e9),
+        format!("{:.3}", o_zb.report.iteration_secs),
+        format!("{:.1}%", o_zb.eff_fine * 100.0),
+    ]);
+    out.push_str(&t.render());
+    let llm_speedup = p_1f1b.makespan as f64 / p_zb.makespan as f64;
+    let optimus_ratio = o_1f1b.report.iteration_secs / o_zb.report.iteration_secs;
+    out.push_str(&format!(
+        "\nzero-bubble shrinks the LLM-only pipeline by {:.1}% and Optimus still schedules the \
+         encoder into the (smaller) remaining bubbles — the mechanisms compose\n",
+        (llm_speedup - 1.0) * 100.0
+    ));
+    (out, (llm_speedup, optimus_ratio))
+}

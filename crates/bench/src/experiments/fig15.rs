@@ -1,0 +1,88 @@
+//! Figure 15: weak-scaling comparison on the Table 3 models.
+//!
+//! Paper result: Optimus up to 1.22× over Megatron-LM and 1.18× over
+//! Megatron-LM balanced; Alpa and FSDP hit OOM on every model.
+
+use optimus_baselines::{alpa, common::SystemContext, fsdp, megatron_balanced, megatron_lm};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// One row of measured results.
+#[derive(Debug, Clone)]
+pub struct WeakRow {
+    /// Model name.
+    pub model: String,
+    /// Megatron-LM iteration seconds.
+    pub megatron: f64,
+    /// Balanced iteration seconds.
+    pub balanced: f64,
+    /// Optimus iteration seconds.
+    pub optimus: f64,
+    /// True when Alpa failed (OOM).
+    pub alpa_oom: bool,
+    /// True when FSDP failed (OOM / infeasible).
+    pub fsdp_oom: bool,
+}
+
+/// Runs the weak-scaling sweep; returns (report, rows).
+pub fn run() -> (String, Vec<WeakRow>) {
+    let mut out =
+        String::from("== Figure 15: weak scaling (Table 3 models, Appendix D.1 configs) ==\n\n");
+    let mut t = TextTable::new(vec![
+        "Model",
+        "GPUs",
+        "Megatron (s)",
+        "Balanced (s)",
+        "Optimus (s)",
+        "vs Meg",
+        "vs Bal",
+        "Alpa",
+        "FSDP",
+    ]);
+    let mut rows = Vec::new();
+    for (w, plan, v) in Workload::weak_scaling() {
+        let ctx = SystemContext::hopper(w.num_gpus).expect("cluster");
+        let meg = megatron_lm(&w, plan, &ctx).expect("megatron");
+        let bal = megatron_balanced(&w, plan, v, &ctx).expect("balanced");
+        let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, v).expect("plan");
+        let opt = run_optimus(&w, &OptimusConfig::new(llm_plan), &ctx).expect("optimus");
+        let alpa_run = alpa(&w, &ctx).expect("alpa");
+        let fsdp_oom = match fsdp(&w, &ctx) {
+            Ok(r) => r.oom,
+            Err(_) => true,
+        };
+        let row = WeakRow {
+            model: w.mllm.name.clone(),
+            megatron: meg.report.iteration_secs,
+            balanced: bal.report.iteration_secs,
+            optimus: opt.report.iteration_secs,
+            alpa_oom: alpa_run.report.oom,
+            fsdp_oom,
+        };
+        t.row(vec![
+            row.model.clone(),
+            w.num_gpus.to_string(),
+            format!("{:.3}", row.megatron),
+            format!("{:.3}", row.balanced),
+            format!("{:.3}", row.optimus),
+            format!("{:.2}x", row.megatron / row.optimus),
+            format!("{:.2}x", row.balanced / row.optimus),
+            if row.alpa_oom {
+                "OOM".into()
+            } else {
+                "ok".to_string()
+            },
+            if row.fsdp_oom {
+                "OOM".into()
+            } else {
+                "ok".to_string()
+            },
+        ]);
+        rows.push(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\npaper: Optimus up to 1.22x vs Megatron-LM, 1.18x vs balanced; Alpa/FSDP OOM on all models\n");
+    (out, rows)
+}

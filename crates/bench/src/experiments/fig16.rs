@@ -1,0 +1,62 @@
+//! Figure 16: multi-encoder MLLM training (Table 6 DualEnc configurations,
+//! 512 GPUs, batch 256).
+//!
+//! Paper: Optimus achieves up to 1.25× / 1.26× / 1.27× over Megatron-LM —
+//! larger than single-encoder speedups because Megatron-LM stacks *all*
+//! encoders into the first pipeline stage, worsening imbalance.
+
+use optimus_baselines::{common::SystemContext, megatron_lm};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// One DualEnc measurement.
+#[derive(Debug, Clone)]
+pub struct MultiEncRow {
+    /// Model name.
+    pub model: String,
+    /// Megatron-LM iteration seconds.
+    pub megatron: f64,
+    /// Optimus iteration seconds.
+    pub optimus: f64,
+}
+
+/// Paper speedups for the three DualEnc configurations.
+pub const PAPER_SPEEDUP: [f64; 3] = [1.25, 1.26, 1.27];
+
+/// Runs the multi-encoder sweep; returns (report, rows).
+pub fn run() -> (String, Vec<MultiEncRow>) {
+    let mut out = String::from("== Figure 16: multi-encoder MLLMs, 512 GPUs, batch 256 ==\n\n");
+    let mut t = TextTable::new(vec![
+        "Model",
+        "Megatron (s)",
+        "Optimus (s)",
+        "speedup",
+        "paper",
+    ]);
+    let mut rows = Vec::new();
+    for ((w, plan), paper) in Workload::multi_encoder().into_iter().zip(PAPER_SPEEDUP) {
+        let ctx = SystemContext::hopper(w.num_gpus).expect("cluster");
+        let meg = megatron_lm(&w, plan, &ctx).expect("megatron");
+        // The balanced baseline is excluded (its DP only handles linear
+        // models, §5.2.3); Optimus uses the interleaved plan directly.
+        let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, 12).expect("plan");
+        let opt = run_optimus(&w, &OptimusConfig::new(llm_plan), &ctx).expect("optimus");
+        let row = MultiEncRow {
+            model: w.mllm.name.clone(),
+            megatron: meg.report.iteration_secs,
+            optimus: opt.report.iteration_secs,
+        };
+        t.row(vec![
+            row.model.clone(),
+            format!("{:.3}", row.megatron),
+            format!("{:.3}", row.optimus),
+            format!("{:.2}x", row.megatron / row.optimus),
+            format!("{paper:.2}x"),
+        ]);
+        rows.push(row);
+    }
+    out.push_str(&t.render());
+    (out, rows)
+}

@@ -1,0 +1,16 @@
+//! One module per paper table/figure; each `run()` returns a printable
+//! report plus structured results for assertions.
+
+pub mod ablations;
+pub mod extension_hetero;
+pub mod extension_schedules;
+pub mod extension_zb;
+pub mod fig12;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig3;
+pub mod table1;
+pub mod table4;
+pub mod table5;
+pub mod table7;

@@ -1,0 +1,80 @@
+//! Table 4 / Table 10: small-model comparison with Alpa and FSDP.
+//!
+//! Paper setting: ViT-3B + GPT-11B, 8×A100, global batch 16, seq 2048.
+//! Paper numbers: Alpa 8.61 s, FSDP 3.20 s, Megatron-LM 3.42 s,
+//! Megatron-LM balanced 3.04 s, Optimus 2.78 s.
+
+use optimus_baselines::{alpa, common::SystemContext, fsdp, megatron_balanced, megatron_lm};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// Measured iteration seconds per system.
+#[derive(Debug, Clone, Copy)]
+pub struct SmallModelRow {
+    /// Alpa-like baseline.
+    pub alpa: f64,
+    /// FSDP baseline.
+    pub fsdp: f64,
+    /// Megatron-LM.
+    pub megatron: f64,
+    /// Megatron-LM balanced.
+    pub balanced: f64,
+    /// Optimus.
+    pub optimus: f64,
+}
+
+/// Runs the Table 4 comparison; returns (report, row).
+pub fn run() -> (String, SmallModelRow) {
+    let w = Workload::small_model();
+    let ctx = SystemContext::ampere(8).expect("cluster");
+    let plan = (2, 2, 2);
+    let a = alpa(&w, &ctx).expect("alpa");
+    let f = fsdp(&w, &ctx).expect("fsdp");
+    let m = megatron_lm(&w, plan, &ctx).expect("megatron");
+    let b = megatron_balanced(&w, plan, 2, &ctx).expect("balanced");
+    let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, 2).expect("plan");
+    let o = run_optimus(&w, &OptimusConfig::new(llm_plan), &ctx).expect("optimus");
+
+    let row = SmallModelRow {
+        alpa: a.report.iteration_secs,
+        fsdp: f.iteration_secs,
+        megatron: m.report.iteration_secs,
+        balanced: b.report.iteration_secs,
+        optimus: o.report.iteration_secs,
+    };
+
+    let mut out = String::from("== Table 4: ViT-3B + GPT-11B on 8xA100, batch 16 ==\n\n");
+    let mut t = TextTable::new(vec![
+        "",
+        "Alpa",
+        "FSDP",
+        "Megatron-LM",
+        "Megatron-LM balanced",
+        "Optimus",
+    ]);
+    t.row(vec![
+        "paper (s)".to_string(),
+        "8.61".to_string(),
+        "3.20".to_string(),
+        "3.42".to_string(),
+        "3.04".to_string(),
+        "2.78".to_string(),
+    ]);
+    t.row(vec![
+        "measured (s)".to_string(),
+        format!("{:.2}", row.alpa),
+        format!("{:.2}", row.fsdp),
+        format!("{:.2}", row.megatron),
+        format!("{:.2}", row.balanced),
+        format!("{:.2}", row.optimus),
+    ]);
+    out.push_str(&t.render());
+    out.push_str(&format!(
+        "\nOptimus speedup: {:.2}x vs Alpa (paper 3.09x), {:.1}% vs FSDP (paper 15.1%)\n",
+        row.alpa / row.optimus,
+        (row.fsdp / row.optimus - 1.0) * 100.0
+    ));
+    (out, row)
+}

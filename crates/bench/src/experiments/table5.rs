@@ -1,0 +1,90 @@
+//! Table 5: strong scaling of ViT-22B + GPT-175B, batch 1536, at
+//! 1536 / 2048 / 3072 GPUs.
+//!
+//! Paper: Optimus reduces iteration time by up to 21.3% vs Megatron-LM and
+//! 20.5% vs balanced; Optimus MFU stays ≈34.5% while baselines drop with
+//! scale (31.6 → 28.5%).
+
+use optimus_baselines::{common::SystemContext, megatron_balanced, megatron_lm};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::{StepReport, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// Measured results at one GPU count.
+#[derive(Debug, Clone)]
+pub struct StrongRow {
+    /// Number of GPUs.
+    pub gpus: u32,
+    /// Megatron-LM report.
+    pub megatron: StepReport,
+    /// Balanced report.
+    pub balanced: StepReport,
+    /// Optimus report.
+    pub optimus: StepReport,
+}
+
+/// Paper Table 5 values: (gpus, megatron s, balanced s, optimus s,
+/// megatron MFU, balanced MFU, optimus MFU).
+pub const PAPER: [(u32, f64, f64, f64, f64, f64, f64); 3] = [
+    (1536, 10.65, 10.43, 9.80, 0.316, 0.323, 0.344),
+    (2048, 8.26, 8.06, 7.29, 0.306, 0.313, 0.346),
+    (3072, 5.91, 5.87, 4.87, 0.285, 0.287, 0.346),
+];
+
+/// Runs the strong-scaling sweep; returns (report, rows).
+pub fn run() -> (String, Vec<StrongRow>) {
+    let mut out = String::from(
+        "== Table 5: strong scaling, ViT-22B + GPT-175B, batch 1536 (Appendix D.2 configs) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "GPUs",
+        "Method",
+        "Iter (s)",
+        "paper (s)",
+        "MFU",
+        "paper MFU",
+        "PFlops/s",
+    ]);
+    let mut rows = Vec::new();
+    for ((w, plan, v), paper) in Workload::strong_scaling().into_iter().zip(PAPER) {
+        let ctx = SystemContext::hopper(w.num_gpus).expect("cluster");
+        let meg = megatron_lm(&w, plan, &ctx).expect("megatron");
+        let bal = megatron_balanced(&w, plan, v, &ctx).expect("balanced");
+        let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, v).expect("plan");
+        let opt = run_optimus(&w, &OptimusConfig::new(llm_plan), &ctx).expect("optimus");
+
+        for (name, rep, ps, pm) in [
+            ("Megatron-LM", &meg.report, paper.1, paper.4),
+            ("Megatron balanced", &bal.report, paper.2, paper.5),
+            ("Optimus", &opt.report, paper.3, paper.6),
+        ] {
+            t.row(vec![
+                w.num_gpus.to_string(),
+                name.to_string(),
+                format!("{:.2}", rep.iteration_secs),
+                format!("{ps:.2}"),
+                format!("{:.1}%", rep.mfu * 100.0),
+                format!("{:.1}%", pm * 100.0),
+                format!("{:.1}", rep.aggregate_pflops),
+            ]);
+        }
+        rows.push(StrongRow {
+            gpus: w.num_gpus,
+            megatron: meg.report.clone(),
+            balanced: bal.report.clone(),
+            optimus: opt.report.clone(),
+        });
+    }
+    out.push_str(&t.render());
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        out.push_str(&format!(
+            "\nspeedup vs Megatron-LM grows with scale: {:.2}x @ {} GPUs -> {:.2}x @ {} GPUs (paper: 1.09x -> 1.21x)\n",
+            first.megatron.iteration_secs / first.optimus.iteration_secs,
+            first.gpus,
+            last.megatron.iteration_secs / last.optimus.iteration_secs,
+            last.gpus
+        ));
+    }
+    (out, rows)
+}

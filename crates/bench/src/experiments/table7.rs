@@ -1,0 +1,83 @@
+//! Table 7: bubble-scheduler scheduling efficiency and algorithm runtime on
+//! the strong-scaling configurations.
+//!
+//! Paper: at 1536/2048/3072 GPUs (32/24/16 microbatches) Eff_coarse rises
+//! 34.3% → 68.7% and Eff_fine 57.5% → 85.0% (fine up to 1.67× coarse);
+//! scheduler runtime *drops* with fewer microbatches (fewer partitions).
+
+use std::time::Instant;
+
+use optimus_baselines::common::SystemContext;
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+use optimus_trace::TextTable;
+
+/// One scheduler measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerRow {
+    /// GPUs.
+    pub gpus: u32,
+    /// Microbatches per pipeline.
+    pub microbatches: u32,
+    /// Coarse-only efficiency.
+    pub eff_coarse: f64,
+    /// Fine-grained efficiency.
+    pub eff_fine: f64,
+    /// Wall-clock scheduler runtime in seconds.
+    pub runtime_secs: f64,
+}
+
+/// Paper reference rows: (gpus, microbatches, eff_coarse, eff_fine, runtime s).
+pub const PAPER: [(u32, u32, f64, f64, f64); 3] = [
+    (1536, 32, 0.343, 0.575, 322.2),
+    (2048, 24, 0.458, 0.693, 89.6),
+    (3072, 16, 0.687, 0.850, 15.1),
+];
+
+/// Runs the scheduler microbenchmark; returns (report, rows).
+pub fn run() -> (String, Vec<SchedulerRow>) {
+    let mut out = String::from(
+        "== Table 7: bubble-scheduler efficiency & runtime (ViT-22B+GPT-175B, batch 1536) ==\n\n",
+    );
+    let mut t = TextTable::new(vec![
+        "GPUs",
+        "#Microbatch",
+        "Eff_coarse",
+        "paper",
+        "Eff_fine",
+        "paper",
+        "Runtime (s)",
+        "paper (s)",
+    ]);
+    let mut rows = Vec::new();
+    for ((w, plan, v), paper) in Workload::strong_scaling().into_iter().zip(PAPER) {
+        let ctx = SystemContext::hopper(w.num_gpus).expect("cluster");
+        let llm_plan = ParallelPlan::with_vpp(plan.0, plan.1, plan.2, v).expect("plan");
+        let start = Instant::now();
+        let opt = run_optimus(&w, &OptimusConfig::new(llm_plan), &ctx).expect("optimus");
+        let runtime = start.elapsed().as_secs_f64();
+        let n_mb = w.microbatches(plan.0).unwrap();
+        let row = SchedulerRow {
+            gpus: w.num_gpus,
+            microbatches: n_mb,
+            eff_coarse: opt.eff_coarse,
+            eff_fine: opt.eff_fine,
+            runtime_secs: runtime,
+        };
+        t.row(vec![
+            row.gpus.to_string(),
+            row.microbatches.to_string(),
+            format!("{:.1}%", row.eff_coarse * 100.0),
+            format!("{:.1}%", paper.2 * 100.0),
+            format!("{:.1}%", row.eff_fine * 100.0),
+            format!("{:.1}%", paper.3 * 100.0),
+            format!("{:.1}", row.runtime_secs),
+            format!("{:.1}", paper.4),
+        ]);
+        rows.push(row);
+    }
+    out.push_str(&t.render());
+    out.push_str("\nnote: absolute runtimes differ (our scheduler samples partitions and runs on faster per-partition packing); the paper's trends — efficiency rises and runtime falls as microbatches shrink — are the comparison targets\n");
+    (out, rows)
+}

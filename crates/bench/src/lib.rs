@@ -1,0 +1,9 @@
+//! Benchmark harness: regenerates every table and figure of the Optimus
+//! paper's evaluation against the simulated substrate.
+//!
+//! Each experiment lives in [`experiments`] and is exposed as a standalone
+//! binary (`cargo run -p optimus-bench --release --bin table5_strong_scaling`)
+//! plus the aggregate `run_all` binary that emits an EXPERIMENTS.md-ready
+//! report.
+
+pub mod experiments;

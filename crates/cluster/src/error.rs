@@ -1,0 +1,66 @@
+//! Error type for cluster construction and communication-group queries.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while describing a cluster or a process group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A cluster must contain at least one GPU and one GPU per node.
+    EmptyCluster,
+    /// GPU count does not tile into whole nodes.
+    UnevenNodes {
+        /// Requested number of GPUs.
+        num_gpus: u32,
+        /// GPUs per node.
+        gpus_per_node: u32,
+    },
+    /// A device id referenced a GPU outside the cluster.
+    UnknownDevice {
+        /// The offending device index.
+        device: u32,
+        /// Cluster size.
+        num_gpus: u32,
+    },
+    /// A process group was constructed with no ranks or duplicate ranks.
+    InvalidGroup {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::EmptyCluster => write!(f, "cluster must contain at least one GPU"),
+            ClusterError::UnevenNodes {
+                num_gpus,
+                gpus_per_node,
+            } => write!(
+                f,
+                "{num_gpus} GPUs do not tile into whole nodes of {gpus_per_node}"
+            ),
+            ClusterError::UnknownDevice { device, num_gpus } => {
+                write!(f, "device {device} outside cluster of {num_gpus} GPUs")
+            }
+            ClusterError::InvalidGroup { reason } => write!(f, "invalid process group: {reason}"),
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = ClusterError::UnevenNodes {
+            num_gpus: 12,
+            gpus_per_node: 8,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("8"));
+    }
+}

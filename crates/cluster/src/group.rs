@@ -1,0 +1,99 @@
+//! Process groups: ordered sets of GPUs participating in one collective.
+
+use crate::error::ClusterError;
+use crate::topology::{ClusterTopology, DeviceId, LinkClass};
+
+/// An ordered set of devices participating in collectives together, analogous
+/// to an NCCL communicator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessGroup {
+    ranks: Vec<DeviceId>,
+}
+
+impl ProcessGroup {
+    /// Builds a group from an ordered rank list.
+    ///
+    /// The list must be non-empty and free of duplicates.
+    pub fn new(ranks: Vec<DeviceId>) -> Result<ProcessGroup, ClusterError> {
+        if ranks.is_empty() {
+            return Err(ClusterError::InvalidGroup {
+                reason: "empty rank list".into(),
+            });
+        }
+        let mut seen = ranks.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ClusterError::InvalidGroup {
+                reason: "duplicate ranks".into(),
+            });
+        }
+        Ok(ProcessGroup { ranks })
+    }
+
+    /// Builds a group over a contiguous device range `[start, start+len)`.
+    pub fn contiguous(start: u32, len: u32) -> Result<ProcessGroup, ClusterError> {
+        ProcessGroup::new((start..start + len).map(DeviceId).collect())
+    }
+
+    /// Number of ranks in the group.
+    pub fn size(&self) -> u32 {
+        self.ranks.len() as u32
+    }
+
+    /// The ordered ranks.
+    pub fn ranks(&self) -> &[DeviceId] {
+        &self.ranks
+    }
+
+    /// The slowest (bottleneck) link class a ring over this group traverses:
+    /// RDMA if the group spans nodes, NVLink if it spans GPUs inside one node,
+    /// loopback for a singleton group.
+    pub fn bottleneck_link(&self, topo: &ClusterTopology) -> LinkClass {
+        if self.ranks.len() <= 1 {
+            return LinkClass::Loopback;
+        }
+        let first_node = topo.node_of(self.ranks[0]);
+        if self.ranks.iter().all(|&r| topo.node_of(r) == first_node) {
+            LinkClass::NvLink
+        } else {
+            LinkClass::Rdma
+        }
+    }
+
+    /// Validates that all ranks exist within the topology.
+    pub fn check(&self, topo: &ClusterTopology) -> Result<(), ClusterError> {
+        for &r in &self.ranks {
+            topo.check_device(r)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(ProcessGroup::new(vec![]).is_err());
+        assert!(ProcessGroup::new(vec![DeviceId(1), DeviceId(1)]).is_err());
+    }
+
+    #[test]
+    fn bottleneck_detection() {
+        let topo = ClusterTopology::hopper_cluster(16).unwrap();
+        let intra = ProcessGroup::contiguous(0, 8).unwrap();
+        let inter = ProcessGroup::new(vec![DeviceId(0), DeviceId(8)]).unwrap();
+        let single = ProcessGroup::contiguous(3, 1).unwrap();
+        assert_eq!(intra.bottleneck_link(&topo), LinkClass::NvLink);
+        assert_eq!(inter.bottleneck_link(&topo), LinkClass::Rdma);
+        assert_eq!(single.bottleneck_link(&topo), LinkClass::Loopback);
+    }
+
+    #[test]
+    fn check_catches_out_of_range() {
+        let topo = ClusterTopology::hopper_cluster(8).unwrap();
+        let g = ProcessGroup::contiguous(6, 4).unwrap();
+        assert!(g.check(&topo).is_err());
+    }
+}

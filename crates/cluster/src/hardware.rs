@@ -1,0 +1,134 @@
+//! Per-GPU hardware profile: compute throughput, memory bandwidth, capacity.
+//!
+//! The profile is the analytic stand-in for the paper's NVIDIA Hopper testbed
+//! (80 GB, 989 TFLOP/s per GPU, §5.1). Kernel durations are derived from FLOP
+//! counts and byte counts against these ceilings, scaled by per-kernel-class
+//! efficiency factors that reflect how far real kernels sit from roofline.
+
+use crate::time::DurNs;
+
+/// The class of a GPU kernel, which selects its efficiency factor.
+///
+/// Large GEMMs run near peak; attention batched matmuls are smaller and less
+/// efficient; normalisation/activation kernels are memory-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelClass {
+    /// Dense matrix multiply (QKV/output projections, MLP).
+    Matmul,
+    /// Attention score / context batched matmuls.
+    Attention,
+    /// Memory-bound elementwise or reduction kernels (layernorm, GeLU, ...).
+    MemoryBound,
+}
+
+/// Static description of one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuProfile {
+    /// Human-readable name, e.g. `"H100-80GB"`.
+    pub name: &'static str,
+    /// Peak dense bf16 throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity: u64,
+    /// Fraction of peak achieved by large GEMM kernels.
+    pub matmul_efficiency: f64,
+    /// Fraction of peak achieved by attention batched matmuls.
+    pub attention_efficiency: f64,
+    /// Fraction of HBM bandwidth achieved by memory-bound kernels.
+    pub membw_efficiency: f64,
+    /// Fixed overhead added to every kernel (launch + tail effects).
+    pub kernel_overhead: DurNs,
+}
+
+impl GpuProfile {
+    /// Hopper-class GPU matching the paper's testbed (§5.1): 80 GB HBM and
+    /// 989 TFLOP/s bf16 peak.
+    pub fn h100() -> GpuProfile {
+        GpuProfile {
+            name: "H100-80GB",
+            peak_flops: 989e12,
+            hbm_bandwidth: 3.35e12,
+            hbm_capacity: 80 * (1 << 30),
+            matmul_efficiency: 0.52,
+            attention_efficiency: 0.30,
+            membw_efficiency: 0.75,
+            kernel_overhead: DurNs(4_000),
+        }
+    }
+
+    /// Ampere-class GPU used in the paper's Alpa/FSDP comparison (Appendix C).
+    pub fn a100() -> GpuProfile {
+        GpuProfile {
+            name: "A100-80GB",
+            peak_flops: 312e12,
+            hbm_bandwidth: 2.0e12,
+            hbm_capacity: 80 * (1 << 30),
+            matmul_efficiency: 0.55,
+            attention_efficiency: 0.32,
+            membw_efficiency: 0.75,
+            kernel_overhead: DurNs(4_000),
+        }
+    }
+
+    /// Effective FLOP/s for a kernel class.
+    pub fn effective_flops(&self, class: KernelClass) -> f64 {
+        match class {
+            KernelClass::Matmul => self.peak_flops * self.matmul_efficiency,
+            KernelClass::Attention => self.peak_flops * self.attention_efficiency,
+            KernelClass::MemoryBound => self.peak_flops,
+        }
+    }
+
+    /// Duration of a compute kernel given its FLOP and HBM traffic footprint.
+    ///
+    /// The kernel is modeled as the max of its compute-limited and
+    /// bandwidth-limited times (a simple roofline), plus launch overhead.
+    pub fn kernel_time(&self, class: KernelClass, flops: f64, bytes: f64) -> DurNs {
+        let compute_s = flops / self.effective_flops(class);
+        let memory_s = bytes / (self.hbm_bandwidth * self.membw_efficiency);
+        self.kernel_overhead + DurNs::from_secs_f64(compute_s.max(memory_s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn h100_matches_paper_testbed() {
+        let g = GpuProfile::h100();
+        assert_eq!(g.peak_flops, 989e12);
+        assert_eq!(g.hbm_capacity, 80 * (1 << 30));
+    }
+
+    #[test]
+    fn matmul_faster_classes_ordered() {
+        let g = GpuProfile::h100();
+        assert!(g.effective_flops(KernelClass::Matmul) > g.effective_flops(KernelClass::Attention));
+    }
+
+    #[test]
+    fn kernel_time_roofline_picks_bottleneck() {
+        let g = GpuProfile::h100();
+        // Compute-bound: lots of FLOPs, no bytes.
+        let tc = g.kernel_time(KernelClass::Matmul, 1e12, 0.0);
+        // Memory-bound: same-ish duration from bytes alone.
+        let tm = g.kernel_time(KernelClass::MemoryBound, 0.0, 1e10);
+        assert!(tc > g.kernel_overhead);
+        assert!(tm > g.kernel_overhead);
+        // The compute-bound kernel at 1 TFLOP on ~514 TFLOP/s should take ~2 ms.
+        let expected_ms = 1e12 / (989e12 * 0.52) * 1e3;
+        assert!((tc.as_millis_f64() - expected_ms).abs() < 0.1);
+    }
+
+    #[test]
+    fn zero_work_kernel_costs_only_overhead() {
+        let g = GpuProfile::h100();
+        assert_eq!(
+            g.kernel_time(KernelClass::Matmul, 0.0, 0.0),
+            g.kernel_overhead
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Cluster topology: nodes of GPUs joined by NVLink inside a node and RDMA
+//! across nodes (§5.1: "intra-server connection is NVLink, and the inter-server
+//! connection is a high-bandwidth RDMA network").
+
+use crate::error::ClusterError;
+use crate::hardware::GpuProfile;
+
+/// Global identifier of one GPU in the cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DeviceId(pub u32);
+
+impl DeviceId {
+    /// Returns the raw index as `usize` for table lookups.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A point-to-point link class between two GPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkClass {
+    /// Same-GPU "link" — zero-cost loopback.
+    Loopback,
+    /// Intra-node NVLink.
+    NvLink,
+    /// Inter-node RDMA NIC.
+    Rdma,
+}
+
+/// Bandwidth/latency description of one link class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Unidirectional bandwidth in bytes/s available to one GPU.
+    pub bandwidth: f64,
+    /// One-way message latency in seconds.
+    pub latency: f64,
+}
+
+/// Description of the whole training cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterTopology {
+    /// Profile shared by every GPU.
+    pub gpu: GpuProfile,
+    /// Number of servers.
+    pub num_nodes: u32,
+    /// GPUs per server (8 for DGX/HGX-style nodes).
+    pub gpus_per_node: u32,
+    /// Intra-node NVLink link profile.
+    pub nvlink: LinkProfile,
+    /// Inter-node RDMA link profile.
+    pub rdma: LinkProfile,
+}
+
+impl ClusterTopology {
+    /// Hopper production-cluster profile used throughout the evaluation:
+    /// 8-GPU NVLink nodes, 400 Gb/s-class RDMA per GPU.
+    pub fn hopper_cluster(num_gpus: u32) -> Result<ClusterTopology, ClusterError> {
+        ClusterTopology::new(
+            GpuProfile::h100(),
+            num_gpus,
+            8,
+            nvlink_default(),
+            rdma_default(),
+        )
+    }
+
+    /// Ampere cluster for the Appendix C small-model comparison (8×A100).
+    pub fn ampere_node(num_gpus: u32) -> Result<ClusterTopology, ClusterError> {
+        ClusterTopology::new(
+            GpuProfile::a100(),
+            num_gpus,
+            8,
+            nvlink_default(),
+            rdma_default(),
+        )
+    }
+
+    /// Builds a topology of `num_gpus` GPUs packed into nodes of
+    /// `gpus_per_node`; `num_gpus` must divide evenly into nodes.
+    pub fn new(
+        gpu: GpuProfile,
+        num_gpus: u32,
+        gpus_per_node: u32,
+        nvlink: LinkProfile,
+        rdma: LinkProfile,
+    ) -> Result<ClusterTopology, ClusterError> {
+        if num_gpus == 0 || gpus_per_node == 0 {
+            return Err(ClusterError::EmptyCluster);
+        }
+        if num_gpus % gpus_per_node != 0 && num_gpus > gpus_per_node {
+            return Err(ClusterError::UnevenNodes {
+                num_gpus,
+                gpus_per_node,
+            });
+        }
+        let (nodes, per_node) = if num_gpus <= gpus_per_node {
+            (1, num_gpus)
+        } else {
+            (num_gpus / gpus_per_node, gpus_per_node)
+        };
+        Ok(ClusterTopology {
+            gpu,
+            num_nodes: nodes,
+            gpus_per_node: per_node,
+            nvlink,
+            rdma,
+        })
+    }
+
+    /// Total number of GPUs in the cluster.
+    pub fn num_gpus(&self) -> u32 {
+        self.num_nodes * self.gpus_per_node
+    }
+
+    /// Node index hosting the given device.
+    pub fn node_of(&self, dev: DeviceId) -> u32 {
+        dev.0 / self.gpus_per_node
+    }
+
+    /// True when both devices sit in the same server.
+    pub fn same_node(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Link class connecting two devices.
+    pub fn link_class(&self, a: DeviceId, b: DeviceId) -> LinkClass {
+        if a == b {
+            LinkClass::Loopback
+        } else if self.same_node(a, b) {
+            LinkClass::NvLink
+        } else {
+            LinkClass::Rdma
+        }
+    }
+
+    /// Link profile for a link class. `Loopback` reports infinite bandwidth
+    /// and zero latency.
+    pub fn link_profile(&self, class: LinkClass) -> LinkProfile {
+        match class {
+            LinkClass::Loopback => LinkProfile {
+                bandwidth: f64::INFINITY,
+                latency: 0.0,
+            },
+            LinkClass::NvLink => self.nvlink,
+            LinkClass::Rdma => self.rdma,
+        }
+    }
+
+    /// Validates that a device id belongs to this cluster.
+    pub fn check_device(&self, dev: DeviceId) -> Result<(), ClusterError> {
+        if dev.0 < self.num_gpus() {
+            Ok(())
+        } else {
+            Err(ClusterError::UnknownDevice {
+                device: dev.0,
+                num_gpus: self.num_gpus(),
+            })
+        }
+    }
+}
+
+/// Default NVLink profile: 400 GB/s effective per-GPU, ~3 µs latency.
+pub fn nvlink_default() -> LinkProfile {
+    LinkProfile {
+        bandwidth: 400e9,
+        latency: 3e-6,
+    }
+}
+
+/// Default RDMA profile: 400 Gb/s (~50 GB/s) per GPU NIC, ~12 µs latency.
+pub fn rdma_default() -> LinkProfile {
+    LinkProfile {
+        bandwidth: 50e9,
+        latency: 12e-6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_expected_node_count() {
+        let t = ClusterTopology::hopper_cluster(3072).unwrap();
+        assert_eq!(t.num_nodes, 384);
+        assert_eq!(t.num_gpus(), 3072);
+    }
+
+    #[test]
+    fn small_cluster_fits_one_node() {
+        let t = ClusterTopology::hopper_cluster(4).unwrap();
+        assert_eq!(t.num_nodes, 1);
+        assert_eq!(t.gpus_per_node, 4);
+    }
+
+    #[test]
+    fn rejects_uneven_layout() {
+        assert!(matches!(
+            ClusterTopology::hopper_cluster(12),
+            Err(ClusterError::UnevenNodes { .. })
+        ));
+        assert!(matches!(
+            ClusterTopology::hopper_cluster(0),
+            Err(ClusterError::EmptyCluster)
+        ));
+    }
+
+    #[test]
+    fn link_classification() {
+        let t = ClusterTopology::hopper_cluster(16).unwrap();
+        assert_eq!(t.link_class(DeviceId(0), DeviceId(0)), LinkClass::Loopback);
+        assert_eq!(t.link_class(DeviceId(0), DeviceId(7)), LinkClass::NvLink);
+        assert_eq!(t.link_class(DeviceId(0), DeviceId(8)), LinkClass::Rdma);
+    }
+
+    #[test]
+    fn device_validation() {
+        let t = ClusterTopology::hopper_cluster(8).unwrap();
+        assert!(t.check_device(DeviceId(7)).is_ok());
+        assert!(t.check_device(DeviceId(8)).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Encoder workload description: the kernel sequences each encoder pipeline
+//! stage must execute per microbatch, under a candidate encoder parallel
+//! plan.
+//!
+//! Multi-branch MLLMs (§4.4) partition every encoder into `PP_enc` stages
+//! independently; stage `k`'s workload is the concatenation of all encoders'
+//! stage-`k` kernels — the encoders have no mutual dependencies, so the
+//! scheduler treats them "as if these kernels were part of a single encoder".
+
+use optimus_baselines::common::SystemContext;
+use optimus_modeling::{layer_kernels, MllmConfig, Pass};
+use optimus_parallel::ParallelPlan;
+
+use crate::error::OptimusError;
+use crate::profile::Ts;
+
+/// One encoder kernel with resolved duration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EncKernel {
+    /// Kernel name.
+    pub label: &'static str,
+    /// Duration (ns).
+    pub dur: Ts,
+    /// True for TP-communication kernels.
+    pub comm: bool,
+}
+
+/// Kernel sequences of one encoder pipeline stage, per microbatch.
+#[derive(Debug, Clone, Default)]
+pub struct EncoderStageWork {
+    /// Forward kernels in issue order.
+    pub fwd: Vec<EncKernel>,
+    /// Backward kernels in issue order.
+    pub bwd: Vec<EncKernel>,
+}
+
+impl EncoderStageWork {
+    /// Serial forward time (compute + comm, as in an idle leading bubble).
+    pub fn fwd_serial(&self) -> Ts {
+        self.fwd.iter().map(|k| k.dur).sum()
+    }
+
+    /// Serial backward time.
+    pub fn bwd_serial(&self) -> Ts {
+        self.bwd.iter().map(|k| k.dur).sum()
+    }
+
+    /// Forward compute time only.
+    pub fn fwd_compute(&self) -> Ts {
+        self.fwd.iter().filter(|k| !k.comm).map(|k| k.dur).sum()
+    }
+
+    /// Backward compute time only.
+    pub fn bwd_compute(&self) -> Ts {
+        self.bwd.iter().filter(|k| !k.comm).map(|k| k.dur).sum()
+    }
+}
+
+/// The per-stage encoder workload for one candidate encoder plan.
+#[derive(Debug, Clone)]
+pub struct EncoderWork {
+    /// The encoder plan this workload was built for.
+    pub plan: ParallelPlan,
+    /// One entry per encoder pipeline stage (`PP_enc`).
+    pub stages: Vec<EncoderStageWork>,
+    /// The encoder's own distributed-optimizer parameter all-gather
+    /// (bf16, over the `DP_enc` group), charged before each device's first
+    /// forward kernel.
+    pub dp_allgather: Ts,
+    /// The encoder's gradient reduce-scatter (fp32, over `DP_enc`), charged
+    /// after each device's last backward kernel.
+    pub dp_reducescatter: Ts,
+}
+
+impl EncoderWork {
+    /// Builds the workload: every encoder's layers are split across `PP_enc`
+    /// stages and decomposed into kernels at `TP_enc`.
+    pub fn build(
+        mllm: &MllmConfig,
+        enc_plan: &ParallelPlan,
+        microbatch: u64,
+        ctx: &SystemContext,
+    ) -> Result<EncoderWork, OptimusError> {
+        EncoderWork::build_with_mode(mllm, enc_plan, microbatch, ctx, false)
+    }
+
+    /// Builds the workload for multi-stage training with frozen encoders
+    /// (§6): the full encoder + projector forward still runs, but the
+    /// backward shrinks to the adapter/projector gradient alone — Optimus
+    /// "skips the encoder's backward computation due to frozen parameters".
+    pub fn build_frozen(
+        mllm: &MllmConfig,
+        enc_plan: &ParallelPlan,
+        microbatch: u64,
+        ctx: &SystemContext,
+    ) -> Result<EncoderWork, OptimusError> {
+        EncoderWork::build_with_mode(mllm, enc_plan, microbatch, ctx, true)
+    }
+
+    fn build_with_mode(
+        mllm: &MllmConfig,
+        enc_plan: &ParallelPlan,
+        microbatch: u64,
+        ctx: &SystemContext,
+        frozen: bool,
+    ) -> Result<EncoderWork, OptimusError> {
+        let tp = enc_plan.tp;
+        let timer = ctx
+            .timer(tp)
+            .map_err(|e| OptimusError::Setup(e.to_string()))?;
+        let mut stages = vec![EncoderStageWork::default(); enc_plan.pp as usize];
+        // Encoder DP collectives: per-GPU encoder parameters over the
+        // DP_enc group (strided across the cluster).
+        let enc_params_per_gpu =
+            mllm.encoder_params() / u64::from(enc_plan.pp * enc_plan.tp).max(1);
+        let (dp_allgather, dp_reducescatter) = if enc_plan.dp > 1 && !frozen {
+            let stride = enc_plan.pp * enc_plan.tp;
+            let (ag, rs) = ctx
+                .dp_comm(enc_params_per_gpu, 1, enc_plan.dp, stride)
+                .map_err(|e| OptimusError::Setup(e.to_string()))?;
+            // Gradient reduce-scatter is bucketed and overlapped with the
+            // remaining backward computation (MegaScale-style); only the
+            // final bucket stays exposed.
+            (ag.0 as Ts, rs.0 as Ts / 4)
+        } else if enc_plan.dp > 1 {
+            // Frozen encoders have no gradients; parameters still need the
+            // start-of-step all-gather.
+            let stride = enc_plan.pp * enc_plan.tp;
+            let (ag, _) = ctx
+                .dp_comm(enc_params_per_gpu, 1, enc_plan.dp, stride)
+                .map_err(|e| OptimusError::Setup(e.to_string()))?;
+            (ag.0 as Ts, 0)
+        } else {
+            (0, 0)
+        };
+        for enc in &mllm.encoders {
+            if u64::from(enc_plan.pp) > enc.layers {
+                return Err(OptimusError::Infeasible(format!(
+                    "PP_enc={} exceeds {} layers of {}",
+                    enc_plan.pp, enc.layers, enc.name
+                )));
+            }
+            let split = {
+                // Reuse the plan's layer splitter for this encoder alone.
+                let p = ParallelPlan::with_vpp(1, enc_plan.pp, 1, 1)
+                    .map_err(|e| OptimusError::Setup(e.to_string()))?;
+                p.layer_split(enc.layers as u32)
+            };
+            let fwd_one = layer_kernels(
+                enc,
+                microbatch,
+                mllm.encoder_seq,
+                u64::from(tp),
+                Pass::Forward,
+            );
+            let bwd_one = layer_kernels(
+                enc,
+                microbatch,
+                mllm.encoder_seq,
+                u64::from(tp),
+                Pass::Backward,
+            );
+            for (k, &n_layers) in split.iter().enumerate() {
+                for _ in 0..n_layers {
+                    for spec in &fwd_one {
+                        stages[k].fwd.push(EncKernel {
+                            label: spec.name,
+                            dur: timer.duration(spec).0 as Ts,
+                            comm: !spec.is_compute(),
+                        });
+                    }
+                    if !frozen {
+                        for spec in &bwd_one {
+                            stages[k].bwd.push(EncKernel {
+                                label: spec.name,
+                                dur: timer.duration(spec).0 as Ts,
+                                comm: !spec.is_compute(),
+                            });
+                        }
+                    }
+                }
+            }
+            if frozen {
+                // Adapter/projector backward on the last encoder stage: one
+                // matmul gradient (dgrad + wgrad ≈ 2× the projector forward).
+                let (b, s) = (microbatch as f64, mllm.encoder_seq as f64);
+                let flops = 2.0 * 2.0 * b * s * (enc.hidden * mllm.llm.hidden) as f64
+                    / f64::from(tp.max(1));
+                let dur = ctx
+                    .topo
+                    .gpu
+                    .kernel_time(optimus_cluster::KernelClass::Matmul, flops, 0.0)
+                    .0 as Ts;
+                let last = stages.len() - 1;
+                stages[last].bwd.push(EncKernel {
+                    label: "adapter_bwd",
+                    dur,
+                    comm: false,
+                });
+            }
+        }
+        Ok(EncoderWork {
+            plan: *enc_plan,
+            stages,
+            dp_allgather,
+            dp_reducescatter,
+        })
+    }
+
+    /// Total compute work (fwd + bwd) of one microbatch across all stages.
+    pub fn compute_per_microbatch(&self) -> Ts {
+        self.stages
+            .iter()
+            .map(|s| s.fwd_compute() + s.bwd_compute())
+            .sum()
+    }
+
+    /// Number of pipeline stages.
+    pub fn n_stages(&self) -> u32 {
+        self.stages.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_parallel::ParallelPlan;
+
+    fn ctx() -> SystemContext {
+        SystemContext::hopper(8).unwrap()
+    }
+
+    #[test]
+    fn stages_cover_all_layers() {
+        let m = MllmConfig::model_d();
+        let plan = ParallelPlan::new(4, 2, 1).unwrap();
+        let w = EncoderWork::build(&m, &plan, 2, &ctx()).unwrap();
+        let kernels_per_layer = 13;
+        let total_fwd: usize = w.stages.iter().map(|s| s.fwd.len()).sum();
+        assert_eq!(total_fwd, 48 * kernels_per_layer);
+        assert_eq!(w.n_stages(), 2);
+    }
+
+    #[test]
+    fn multi_branch_concatenates_encoders() {
+        let single = MllmConfig::model_d(); // ViT-22B
+        let dual = MllmConfig::dual_enc_22_5(); // ViT-22B + ViT-5B
+        let plan = ParallelPlan::new(4, 2, 1).unwrap();
+        let ws = EncoderWork::build(&single, &plan, 2, &ctx()).unwrap();
+        let wd = EncoderWork::build(&dual, &plan, 2, &ctx()).unwrap();
+        assert!(wd.compute_per_microbatch() > ws.compute_per_microbatch());
+        let fwd_s: usize = ws.stages.iter().map(|s| s.fwd.len()).sum();
+        let fwd_d: usize = wd.stages.iter().map(|s| s.fwd.len()).sum();
+        assert_eq!(fwd_d, fwd_s + 48 * 13); // ViT-5B also has 48 layers
+    }
+
+    #[test]
+    fn tp_divides_encoder_compute() {
+        let m = MllmConfig::model_d();
+        let p1 = ParallelPlan::new(8, 1, 1).unwrap();
+        let p8 = ParallelPlan::new(1, 1, 8).unwrap();
+        let w1 = EncoderWork::build(&m, &p1, 2, &ctx()).unwrap();
+        let w8 = EncoderWork::build(&m, &p8, 2, &ctx()).unwrap();
+        let r = w1.compute_per_microbatch() as f64 / w8.compute_per_microbatch() as f64;
+        assert!(r > 5.0, "tp scaling ratio {r}");
+    }
+
+    #[test]
+    fn too_deep_pipeline_rejected() {
+        let m = MllmConfig::model_d();
+        let plan = ParallelPlan::new(1, 64, 1).unwrap(); // 64 > 48 layers
+        assert!(EncoderWork::build(&m, &plan, 2, &ctx()).is_err());
+    }
+
+    #[test]
+    fn frozen_encoder_has_adapter_only_backward() {
+        let m = MllmConfig::model_d();
+        let plan = ParallelPlan::new(4, 2, 1).unwrap();
+        let full = EncoderWork::build(&m, &plan, 2, &ctx()).unwrap();
+        let frozen = EncoderWork::build_frozen(&m, &plan, 2, &ctx()).unwrap();
+        // Same forward work.
+        let fwd_full: usize = full.stages.iter().map(|s| s.fwd.len()).sum();
+        let fwd_froz: usize = frozen.stages.iter().map(|s| s.fwd.len()).sum();
+        assert_eq!(fwd_full, fwd_froz);
+        // Backward shrinks to one adapter kernel on the last stage.
+        assert!(frozen.stages[0].bwd.is_empty());
+        assert_eq!(frozen.stages[1].bwd.len(), 1);
+        assert_eq!(frozen.stages[1].bwd[0].label, "adapter_bwd");
+        assert!(frozen.compute_per_microbatch() < full.compute_per_microbatch() / 2);
+    }
+
+    #[test]
+    fn vit22b_layer_anchor_holds_at_kernel_level() {
+        // The §2.3 anchor: a ViT-22B layer ≈1.4 ms fwd / 2.0 ms bwd. Our
+        // per-stage totals divided by layer count must sit in that regime.
+        let m = MllmConfig::model_d();
+        let plan = ParallelPlan::new(8, 1, 1).unwrap();
+        let w = EncoderWork::build(&m, &plan, 1, &ctx()).unwrap();
+        let per_layer_fwd = w.stages[0].fwd_compute() as f64 / 48.0 / 1e6; // ms
+        assert!((0.5..3.0).contains(&per_layer_fwd), "{per_layer_fwd} ms");
+    }
+}

@@ -1,0 +1,52 @@
+//! Optimus-core errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the model planner, bubble scheduler, or verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimusError {
+    /// Cluster/plan setup failed.
+    Setup(String),
+    /// The workload cannot be scheduled (no feasible encoder plan, bad
+    /// batch shape, ...).
+    Infeasible(String),
+    /// Substrate (pipeline/simulation) failure.
+    Substrate(String),
+    /// End-to-end verification found the schedule estimate inconsistent with
+    /// re-simulation.
+    VerificationFailed {
+        /// Scheduler's latency estimate in seconds.
+        estimated_secs: f64,
+        /// Re-simulated latency in seconds.
+        simulated_secs: f64,
+    },
+}
+
+impl fmt::Display for OptimusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimusError::Setup(s) => write!(f, "setup error: {s}"),
+            OptimusError::Infeasible(s) => write!(f, "infeasible: {s}"),
+            OptimusError::Substrate(s) => write!(f, "substrate error: {s}"),
+            OptimusError::VerificationFailed { estimated_secs, simulated_secs } => write!(
+                f,
+                "verification failed: estimated {estimated_secs:.4}s vs simulated {simulated_secs:.4}s"
+            ),
+        }
+    }
+}
+
+impl Error for OptimusError {}
+
+impl From<optimus_pipeline::PipelineError> for OptimusError {
+    fn from(e: optimus_pipeline::PipelineError) -> OptimusError {
+        OptimusError::Substrate(e.to_string())
+    }
+}
+
+impl From<optimus_baselines::BaselineError> for OptimusError {
+    fn from(e: optimus_baselines::BaselineError) -> OptimusError {
+        OptimusError::Substrate(e.to_string())
+    }
+}

@@ -1,0 +1,57 @@
+//! Optimus: accelerating multimodal-LLM training by bubble exploitation.
+//!
+//! This crate implements the paper's contribution on top of the simulated
+//! substrate crates:
+//!
+//! * the **model planner** (§4.1): separate encoder/LLM parallel plans,
+//!   colocation, memory pruning, microbatch partitioning;
+//! * the **bubble scheduler** (§4.2, Algorithm 2): coarse-grained
+//!   exploitation of the big leading/trailing bubbles plus fine-grained,
+//!   kernel-level relocation of encoder work into interior (PP and
+//!   sub-millisecond TP) bubbles, driven by critical-path search;
+//! * **dependency management** (§4.3): adjusted forward/backward dependency
+//!   points and the global-ordering `CheckEncLLMDep`;
+//! * **multi-branch encoders** (§4.4) and the **memory analysis** (§4.5);
+//! * a **verifier** that splices the chosen schedule back into the task
+//!   graph and re-simulates the combined step end to end.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_baselines::common::SystemContext;
+//! use optimus_core::{run_optimus, OptimusConfig};
+//! use optimus_modeling::Workload;
+//! use optimus_parallel::ParallelPlan;
+//!
+//! let w = Workload::small_model();
+//! let ctx = SystemContext::hopper(8).unwrap();
+//! let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+//! let run = run_optimus(&w, &cfg, &ctx).unwrap();
+//! assert!(run.report.iteration_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encoder;
+pub mod error;
+pub mod memory;
+pub mod optimus;
+pub mod persist;
+pub mod planner;
+pub mod profile;
+pub mod robustness;
+pub mod scheduler;
+pub mod verify;
+
+pub use encoder::{EncKernel, EncoderStageWork, EncoderWork};
+pub use error::OptimusError;
+pub use memory::{colocated_model_state_bytes, colocation_overhead_bytes, optimus_memory};
+pub use optimus::{run_optimus, OptimusConfig, OptimusRun};
+pub use persist::SavedSchedule;
+pub use planner::{plan_model, EncoderCandidate, PlannerOutput};
+pub use profile::{DeviceProfile, FreeInterval, LlmProfile, LlmScheduleKind, Ts};
+pub use robustness::{drift_study, jitter_study, DriftReport, RobustnessReport};
+pub use scheduler::{
+    sample_load_scales, BubbleScheduler, CoarseBlock, KernelPlacement, ScheduleOutcome,
+};
+pub use verify::{verify, VerifyReport};

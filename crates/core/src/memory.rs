@@ -1,0 +1,160 @@
+//! Colocation memory analysis (§4.5).
+//!
+//! Colocating encoder model states on every GPU replicates the encoder
+//! `DP_enc` times instead of `DP_llm` times:
+//!
+//! `MEM_model = k·(DP_enc·φ_enc + DP_llm·φ_llm) / n_gpu`
+//!
+//! `MEM_overhead = k·(DP_enc − DP_llm)·φ_enc / n_gpu`
+//!
+//! with `k = 6` bytes per resident parameter (bf16 params + fp32 grads,
+//! distributed optimizer). LLM activations are estimated per Korthikanti et
+//! al.; encoder activations are "negligible" (§4.1) but we include them for
+//! honesty.
+
+use optimus_modeling::memory::{
+    activation_bytes_per_layer, MemoryEstimate, Recompute, RESIDENT_BYTES_PER_PARAM,
+};
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::ParallelPlan;
+
+/// Resident-state memory per GPU under colocation (the §4.5 formula).
+pub fn colocated_model_state_bytes(
+    mllm: &MllmConfig,
+    enc_plan: &ParallelPlan,
+    llm_plan: &ParallelPlan,
+) -> u64 {
+    let n = llm_plan.num_gpus() as u64;
+    let enc = mllm.encoder_params() as u128;
+    let llm = mllm.llm.total_params() as u128;
+    let k = RESIDENT_BYTES_PER_PARAM as u128;
+    ((k * (u128::from(enc_plan.dp) * enc + u128::from(llm_plan.dp) * llm)) / n as u128) as u64
+}
+
+/// The §4.5 overhead of colocation versus `DP_enc = DP_llm`.
+pub fn colocation_overhead_bytes(
+    mllm: &MllmConfig,
+    enc_plan: &ParallelPlan,
+    llm_plan: &ParallelPlan,
+) -> u64 {
+    let n = llm_plan.num_gpus() as u64;
+    let extra_dp = u64::from(enc_plan.dp.saturating_sub(llm_plan.dp));
+    RESIDENT_BYTES_PER_PARAM * extra_dp * mllm.encoder_params() / n
+}
+
+/// Full per-GPU memory estimate for an Optimus configuration (worst pipeline
+/// rank: model states + sharded optimizer + LLM activations + encoder
+/// activations).
+pub fn optimus_memory(
+    w: &Workload,
+    enc_plan: &ParallelPlan,
+    llm_plan: &ParallelPlan,
+    n_microbatches: u32,
+) -> MemoryEstimate {
+    let mllm = &w.mllm;
+    let model_states = colocated_model_state_bytes(mllm, enc_plan, llm_plan);
+    // Optimizer states (12 B/param): with the distributed optimizer each DP
+    // group shards its replica's states, so per GPU this is 12·φ/n for both
+    // components regardless of the DP degrees.
+    let n = llm_plan.num_gpus() as u64;
+    let optimizer = 12 * (mllm.encoder_params() + mllm.llm.total_params()) / n.max(1);
+
+    let mb = u64::from(w.microbatch_size);
+    // Worst LLM rank (rank 0) holds the most in-flight virtual microbatches,
+    // each pinning one chunk's activations.
+    let (pp, vpp) = (llm_plan.pp, llm_plan.vpp);
+    let layers_per_chunk = (mllm.llm.layers as u32).div_ceil(pp * vpp);
+    let inflight = if vpp == 1 {
+        u64::from(pp.min(n_microbatches.max(1)))
+    } else {
+        u64::from(((pp - 1) * 2 + (vpp - 1) * pp + 1).min(n_microbatches.max(1) * vpp))
+    };
+    let llm_act = u64::from(layers_per_chunk)
+        * activation_bytes_per_layer(
+            &mllm.llm,
+            mb,
+            mllm.llm_seq,
+            u64::from(llm_plan.tp),
+            Recompute::Selective,
+        )
+        * inflight;
+    // Encoder activations: one stage's layers, a handful of in-flight
+    // microbatches.
+    let enc_layers_per_stage: u64 = mllm
+        .encoders
+        .iter()
+        .map(|e| e.layers.div_ceil(u64::from(enc_plan.pp)))
+        .sum();
+    let enc_act = enc_layers_per_stage
+        * mllm
+            .encoders
+            .iter()
+            .map(|e| {
+                activation_bytes_per_layer(
+                    e,
+                    mb,
+                    mllm.encoder_seq,
+                    u64::from(enc_plan.tp),
+                    Recompute::Selective,
+                )
+            })
+            .max()
+            .unwrap_or(0)
+        * u64::from(enc_plan.pp.min(4));
+
+    MemoryEstimate {
+        model_states,
+        optimizer,
+        activations: llm_act + enc_act,
+        overhead: MemoryEstimate::DEFAULT_OVERHEAD,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plans() -> (ParallelPlan, ParallelPlan, MllmConfig) {
+        // Realistic 512-GPU shapes: LLM (8, 8, 8), encoder (16, 4, 8).
+        let llm = ParallelPlan::new(8, 8, 8).unwrap();
+        let enc = ParallelPlan::new(16, 4, 8).unwrap();
+        (enc, llm, MllmConfig::model_d())
+    }
+
+    #[test]
+    fn overhead_formula_matches_definition() {
+        let (enc, llm, m) = plans();
+        let with = colocated_model_state_bytes(&m, &enc, &llm);
+        let baseline = colocated_model_state_bytes(&m, &llm, &llm);
+        assert_eq!(with - baseline, colocation_overhead_bytes(&m, &enc, &llm));
+    }
+
+    #[test]
+    fn overhead_grows_with_encoder_dp() {
+        let (_, llm, m) = plans();
+        let small = ParallelPlan::new(16, 4, 8).unwrap();
+        let large = ParallelPlan::new(64, 2, 4).unwrap();
+        assert!(
+            colocation_overhead_bytes(&m, &large, &llm)
+                > colocation_overhead_bytes(&m, &small, &llm)
+        );
+    }
+
+    #[test]
+    fn overhead_stays_modest() {
+        // §4.5: "the memory overhead typically amounts to less than 12%".
+        let (enc, llm, m) = plans();
+        let w = Workload::new(m, 512, 256, 1);
+        let est = optimus_memory(&w, &enc, &llm, 32);
+        let overhead = colocation_overhead_bytes(&w.mllm, &enc, &llm);
+        let frac = overhead as f64 / est.total() as f64;
+        assert!(frac < 0.12, "overhead fraction {frac:.3}");
+        assert!(overhead > 0);
+    }
+
+    #[test]
+    fn no_overhead_when_dp_equal() {
+        let (_, llm, m) = plans();
+        assert_eq!(colocation_overhead_bytes(&m, &llm, &llm), 0);
+    }
+}

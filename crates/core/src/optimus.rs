@@ -1,0 +1,246 @@
+//! The top-level Optimus workflow (Algorithm 1): model planner → per-plan
+//! bubble scheduling → pick the schedule with the shortest latency.
+
+use optimus_baselines::common::{make_report, SystemContext};
+use optimus_modeling::{MemoryEstimate, StepReport, Workload};
+use optimus_parallel::ParallelPlan;
+
+use crate::encoder::EncoderWork;
+use crate::error::OptimusError;
+use crate::memory::optimus_memory;
+use crate::planner::{plan_model, PlannerOutput};
+use crate::profile::LlmProfile;
+use crate::scheduler::{BubbleScheduler, ScheduleOutcome};
+
+/// Optimus configuration knobs.
+#[derive(Debug, Clone)]
+pub struct OptimusConfig {
+    /// The LLM plan (reused from Megatron-LM practice, §4.1).
+    pub llm_plan: ParallelPlan,
+    /// Cap on microbatch partitions evaluated per encoder plan (the full
+    /// composition space is sampled evenly above this).
+    pub max_partitions: usize,
+    /// Enable fine-grained (kernel-level) bubble exploitation.
+    pub fine_grained: bool,
+    /// Defer forward dependency points by slack analysis (Fig. 12). Set to
+    /// `false` to produce runs that [`crate::verify`] can re-simulate
+    /// exactly.
+    pub adjust_dep_points: bool,
+    /// Multi-stage training with frozen encoders (§6): schedule the encoder
+    /// + adapter forward and only the adapter's backward.
+    pub frozen_encoder: bool,
+    /// Fraction of every interior bubble reserved against kernel-runtime
+    /// jitter (§6 mitigation; see [`crate::robustness`]).
+    pub bubble_margin: f64,
+    /// LLM pipeline schedule to build the bubble profile from — Optimus is
+    /// schedule-orthogonal (§6).
+    pub llm_schedule: crate::profile::LlmScheduleKind,
+    /// Per-microbatch encoder load scales for heterogeneous data (variable
+    /// images per sample); `None` = uniform.
+    pub mb_scales: Option<Vec<f64>>,
+}
+
+impl OptimusConfig {
+    /// Default configuration for a given LLM plan.
+    pub fn new(llm_plan: ParallelPlan) -> OptimusConfig {
+        OptimusConfig {
+            llm_plan,
+            max_partitions: 128,
+            fine_grained: true,
+            adjust_dep_points: true,
+            frozen_encoder: false,
+            bubble_margin: 0.0,
+            llm_schedule: crate::profile::LlmScheduleKind::default(),
+            mb_scales: None,
+        }
+    }
+}
+
+/// Everything produced by one Optimus planning + scheduling run.
+#[derive(Debug, Clone)]
+pub struct OptimusRun {
+    /// Headline numbers.
+    pub report: StepReport,
+    /// The chosen encoder plan.
+    pub enc_plan: ParallelPlan,
+    /// The winning schedule.
+    pub outcome: ScheduleOutcome,
+    /// The LLM bubble profile the schedule was built against.
+    pub profile: LlmProfile,
+    /// Worst-GPU memory estimate.
+    pub memory: MemoryEstimate,
+    /// Scheduling efficiency with coarse-grained exploitation only.
+    pub eff_coarse: f64,
+    /// Scheduling efficiency with fine-grained exploitation.
+    pub eff_fine: f64,
+    /// Encoder plans pruned by memory.
+    pub planner_pruned: usize,
+    /// Encoder plans evaluated by the scheduler.
+    pub candidates_evaluated: usize,
+}
+
+/// Runs Optimus end to end (Algorithm 1).
+pub fn run_optimus(
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+) -> Result<OptimusRun, OptimusError> {
+    let planner: PlannerOutput = plan_model(w, &cfg.llm_plan, ctx.topo.gpu.hbm_capacity)?;
+    let profile = LlmProfile::build_full(
+        w,
+        &cfg.llm_plan,
+        ctx,
+        cfg.adjust_dep_points,
+        cfg.llm_schedule,
+    )?;
+    let n_mb = profile.n_microbatches();
+
+    let mut best: Option<(ScheduleOutcome, ParallelPlan)> = None;
+    let mut evaluated = 0usize;
+    for cand in &planner.candidates {
+        let mb = u64::from(w.microbatch_size);
+        let built = if cfg.frozen_encoder {
+            EncoderWork::build_frozen(&w.mllm, &cand.plan, mb, ctx)
+        } else {
+            EncoderWork::build(&w.mllm, &cand.plan, mb, ctx)
+        };
+        let Ok(work) = built else { continue };
+        let mut scheduler =
+            BubbleScheduler::new(&profile, &work, &cand.layout)?.with_margin(cfg.bubble_margin);
+        if let Some(sc) = &cfg.mb_scales {
+            scheduler = scheduler.with_scales(sc.clone())?;
+        }
+        evaluated += 1;
+        let Ok(outcome) = scheduler.schedule(cfg.max_partitions, cfg.fine_grained) else {
+            continue;
+        };
+        let better = best
+            .as_ref()
+            .map(|(b, _)| outcome.latency < b.latency)
+            .unwrap_or(true);
+        if better {
+            best = Some((outcome, cand.plan));
+        }
+    }
+    let (outcome, enc_plan) = best.ok_or_else(|| {
+        OptimusError::Infeasible("no encoder plan produced a feasible schedule".into())
+    })?;
+    // Coarse-only efficiency for the chosen plan (Table 7's Eff_coarse).
+    let eff_coarse = {
+        let mb = u64::from(w.microbatch_size);
+        let work = if cfg.frozen_encoder {
+            EncoderWork::build_frozen(&w.mllm, &enc_plan, mb, ctx)?
+        } else {
+            EncoderWork::build(&w.mllm, &enc_plan, mb, ctx)?
+        };
+        let layout = optimus_parallel::ColocationLayout::new(cfg.llm_plan, enc_plan)
+            .map_err(|e| OptimusError::Setup(e.to_string()))?;
+        let mut sched =
+            BubbleScheduler::new(&profile, &work, &layout)?.with_margin(cfg.bubble_margin);
+        if let Some(sc) = &cfg.mb_scales {
+            sched = sched.with_scales(sc.clone())?;
+        }
+        sched
+            .schedule(cfg.max_partitions, false)
+            .map(|o| o.efficiency())
+            .unwrap_or(0.0)
+    };
+
+    let memory = optimus_memory(w, &enc_plan, &cfg.llm_plan, n_mb);
+    let report = make_report("Optimus", w, ctx, outcome.latency_secs(), &memory);
+    let eff_fine = outcome.efficiency();
+    Ok(OptimusRun {
+        report,
+        enc_plan,
+        outcome,
+        profile,
+        memory,
+        eff_coarse,
+        eff_fine,
+        planner_pruned: planner.pruned,
+        candidates_evaluated: evaluated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_baselines::{megatron_balanced, megatron_lm};
+    use optimus_modeling::MllmConfig;
+
+    fn small_ctx() -> (Workload, SystemContext) {
+        (
+            Workload::new(MllmConfig::small(), 8, 16, 1),
+            SystemContext::hopper(8).unwrap(),
+        )
+    }
+
+    #[test]
+    fn optimus_beats_megatron_on_small_model() {
+        let (w, ctx) = small_ctx();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        let m = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+        assert!(
+            run.report.iteration_secs < m.report.iteration_secs,
+            "optimus {:.4}s vs megatron {:.4}s",
+            run.report.iteration_secs,
+            m.report.iteration_secs
+        );
+    }
+
+    #[test]
+    fn optimus_beats_balanced_on_small_model() {
+        let (w, ctx) = small_ctx();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        let b = megatron_balanced(&w, (2, 2, 2), 2, &ctx).unwrap();
+        assert!(
+            run.report.iteration_secs < b.report.iteration_secs,
+            "optimus {:.4}s vs balanced {:.4}s",
+            run.report.iteration_secs,
+            b.report.iteration_secs
+        );
+    }
+
+    #[test]
+    fn fine_efficiency_at_least_coarse() {
+        let (w, ctx) = small_ctx();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        assert!(
+            run.eff_fine >= run.eff_coarse - 1e-9,
+            "{} vs {}",
+            run.eff_fine,
+            run.eff_coarse
+        );
+        assert!(run.eff_fine > 0.0 && run.eff_fine <= 1.0);
+    }
+
+    #[test]
+    fn mfu_reported_and_memory_fits() {
+        let (w, ctx) = small_ctx();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        assert!(run.report.mfu > 0.0 && run.report.mfu < 1.0);
+        assert!(!run.report.oom);
+    }
+
+    #[test]
+    fn multi_encoder_supported() {
+        let mllm = MllmConfig::multi(
+            "dual-small",
+            vec![
+                optimus_modeling::TransformerConfig::vit_3b(),
+                optimus_modeling::TransformerConfig::vit_3b(),
+            ],
+            optimus_modeling::TransformerConfig::gpt_11b(),
+        );
+        let w = Workload::new(mllm, 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        let m = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+        assert!(run.report.iteration_secs < m.report.iteration_secs);
+    }
+}

@@ -1,0 +1,397 @@
+//! Schedule persistence.
+//!
+//! Computing a bubble schedule is "a one-time cost" (§4.2) — a production
+//! deployment computes it offline and ships it to the training job. This
+//! module serialises a chosen schedule (plans, partition, placements,
+//! coarse blocks, dependency metadata) to JSON and validates on load that
+//! it matches the workload it is applied to.
+
+use std::io::{Read, Write};
+
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+use optimus_pipeline::Dir;
+use serde::{Deserialize, Serialize};
+
+use crate::error::OptimusError;
+use crate::optimus::OptimusRun;
+use crate::profile::Ts;
+use crate::scheduler::{CoarseBlock, KernelPlacement, ScheduleOutcome};
+
+/// On-disk format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum DirDto {
+    Fwd,
+    Bwd,
+    Wgrad,
+}
+
+impl From<Dir> for DirDto {
+    fn from(d: Dir) -> DirDto {
+        match d {
+            Dir::Fwd => DirDto::Fwd,
+            Dir::Bwd => DirDto::Bwd,
+            Dir::Wgrad => DirDto::Wgrad,
+        }
+    }
+}
+
+impl From<DirDto> for Dir {
+    fn from(d: DirDto) -> Dir {
+        match d {
+            DirDto::Fwd => Dir::Fwd,
+            DirDto::Bwd => Dir::Bwd,
+            DirDto::Wgrad => Dir::Wgrad,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct PlanDto {
+    dp: u32,
+    pp: u32,
+    tp: u32,
+    vpp: u32,
+}
+
+impl From<ParallelPlan> for PlanDto {
+    fn from(p: ParallelPlan) -> PlanDto {
+        PlanDto {
+            dp: p.dp,
+            pp: p.pp,
+            tp: p.tp,
+            vpp: p.vpp,
+        }
+    }
+}
+
+impl TryFrom<PlanDto> for ParallelPlan {
+    type Error = OptimusError;
+    fn try_from(p: PlanDto) -> Result<ParallelPlan, OptimusError> {
+        ParallelPlan::with_vpp(p.dp, p.pp, p.tp, p.vpp)
+            .map_err(|e| OptimusError::Setup(e.to_string()))
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct PlacementDto {
+    pipeline: u32,
+    enc_stage: u32,
+    microbatch: u32,
+    dir: DirDto,
+    llm_stage: u32,
+    start: Ts,
+    end: Ts,
+    comm: bool,
+    label: String,
+    anchor: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BlockDto {
+    pipeline: u32,
+    enc_stage: u32,
+    llm_stage: u32,
+    start: Ts,
+    end: Ts,
+    compute_work: Ts,
+    microbatches: u32,
+    dir: DirDto,
+}
+
+/// A serialised bubble schedule with the context needed to validate reuse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SavedSchedule {
+    /// Format version.
+    pub version: u32,
+    /// Model name the schedule was computed for.
+    pub model: String,
+    /// Cluster size.
+    pub num_gpus: u32,
+    /// Global batch size.
+    pub global_batch: u32,
+    /// Microbatch size.
+    pub microbatch_size: u32,
+    /// LLM plan.
+    llm_plan: PlanDto,
+    /// Chosen encoder plan.
+    enc_plan: PlanDto,
+    /// Microbatch partition across encoder pipelines.
+    pub partition: Vec<u32>,
+    /// Latency estimate in nanoseconds.
+    pub latency_ns: Ts,
+    /// Iteration prefix / suffix extensions.
+    pub prefix_ns: Ts,
+    /// Suffix extension.
+    pub suffix_ns: Ts,
+    /// Scheduling efficiency.
+    pub efficiency: f64,
+    /// Per-microbatch load scales.
+    pub mb_scales: Vec<f64>,
+    /// Encoder forward finish times.
+    ef: Vec<Ts>,
+    /// Encoder backward start times.
+    eb: Vec<Ts>,
+    placements: Vec<PlacementDto>,
+    blocks: Vec<BlockDto>,
+}
+
+impl SavedSchedule {
+    /// Captures a run's chosen schedule.
+    pub fn capture(run: &OptimusRun, w: &Workload) -> SavedSchedule {
+        let o = &run.outcome;
+        SavedSchedule {
+            version: FORMAT_VERSION,
+            model: w.mllm.name.clone(),
+            num_gpus: w.num_gpus,
+            global_batch: w.global_batch,
+            microbatch_size: w.microbatch_size,
+            llm_plan: run.profile.llm_plan.into(),
+            enc_plan: run.enc_plan.into(),
+            partition: o.partition.clone(),
+            latency_ns: o.latency,
+            prefix_ns: o.prefix,
+            suffix_ns: o.suffix,
+            efficiency: o.efficiency(),
+            mb_scales: o.mb_scales.clone(),
+            ef: o.ef.clone(),
+            eb: o.eb.clone(),
+            placements: o
+                .placements
+                .iter()
+                .map(|p| PlacementDto {
+                    pipeline: p.pipeline,
+                    enc_stage: p.enc_stage,
+                    microbatch: p.microbatch,
+                    dir: p.dir.into(),
+                    llm_stage: p.llm_stage,
+                    start: p.start,
+                    end: p.end,
+                    comm: p.comm,
+                    label: p.label.to_string(),
+                    anchor: p.anchor,
+                })
+                .collect(),
+            blocks: o
+                .blocks
+                .iter()
+                .map(|b| BlockDto {
+                    pipeline: b.pipeline,
+                    enc_stage: b.enc_stage,
+                    llm_stage: b.llm_stage,
+                    start: b.start,
+                    end: b.end,
+                    compute_work: b.compute_work,
+                    microbatches: b.microbatches,
+                    dir: b.dir.into(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Writes the schedule as JSON.
+    pub fn save<W: Write>(&self, mut out: W) -> Result<(), OptimusError> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| OptimusError::Setup(format!("serialise: {e}")))?;
+        out.write_all(json.as_bytes())
+            .map_err(|e| OptimusError::Setup(format!("write: {e}")))
+    }
+
+    /// Reads a schedule from JSON.
+    pub fn load<R: Read>(mut input: R) -> Result<SavedSchedule, OptimusError> {
+        let mut buf = String::new();
+        input
+            .read_to_string(&mut buf)
+            .map_err(|e| OptimusError::Setup(format!("read: {e}")))?;
+        let saved: SavedSchedule =
+            serde_json::from_str(&buf).map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
+        if saved.version != FORMAT_VERSION {
+            return Err(OptimusError::Setup(format!(
+                "schedule format v{} unsupported (expected v{FORMAT_VERSION})",
+                saved.version
+            )));
+        }
+        Ok(saved)
+    }
+
+    /// Validates that the schedule was computed for this workload/plan.
+    pub fn validate_for(&self, w: &Workload, llm_plan: &ParallelPlan) -> Result<(), OptimusError> {
+        let mismatch = |what: &str| {
+            Err(OptimusError::Infeasible(format!(
+                "saved schedule does not match {what}"
+            )))
+        };
+        if self.model != w.mllm.name {
+            return mismatch("model");
+        }
+        if self.num_gpus != w.num_gpus
+            || self.global_batch != w.global_batch
+            || self.microbatch_size != w.microbatch_size
+        {
+            return mismatch("workload shape");
+        }
+        if PlanDto::from(*llm_plan) != self.llm_plan {
+            return mismatch("LLM plan");
+        }
+        Ok(())
+    }
+
+    /// The LLM plan the schedule was computed for.
+    pub fn llm_plan(&self) -> Result<ParallelPlan, OptimusError> {
+        self.llm_plan.try_into()
+    }
+
+    /// The chosen encoder plan.
+    pub fn enc_plan(&self) -> Result<ParallelPlan, OptimusError> {
+        self.enc_plan.try_into()
+    }
+
+    /// Reconstructs a [`ScheduleOutcome`] (labels are interned as static
+    /// strings via leak-free lookup into the known kernel-name table; unknown
+    /// labels map to `"enc_kernel"`).
+    pub fn to_outcome(&self) -> ScheduleOutcome {
+        // Known kernel labels used by the scheduler.
+        const LABELS: [&str; 28] = [
+            "tp_allgather_attn",
+            "layernorm1",
+            "qkv_proj",
+            "attn_score",
+            "attn_context",
+            "out_proj",
+            "tp_reducescatter_attn",
+            "tp_allgather_mlp",
+            "layernorm2",
+            "fc1",
+            "act_fn",
+            "fc2",
+            "tp_reducescatter_mlp",
+            "tp_allgather_mlp_bwd",
+            "fc2_bwd",
+            "act_fn_bwd",
+            "fc1_bwd",
+            "layernorm2_bwd",
+            "tp_reducescatter_mlp_bwd",
+            "tp_allgather_attn_bwd",
+            "out_proj_bwd",
+            "attn_context_bwd",
+            "attn_score_bwd",
+            "qkv_proj_bwd",
+            "layernorm1_bwd",
+            "tp_reducescatter_attn_bwd",
+            "adapter_bwd",
+            "enc_kernel",
+        ];
+        let intern = |label: &str| -> &'static str {
+            LABELS
+                .iter()
+                .find(|&&l| l == label)
+                .copied()
+                .unwrap_or("enc_kernel")
+        };
+        ScheduleOutcome {
+            partition: self.partition.clone(),
+            prefix: self.prefix_ns,
+            suffix: self.suffix_ns,
+            latency: self.latency_ns,
+            blocks: self
+                .blocks
+                .iter()
+                .map(|b| CoarseBlock {
+                    pipeline: b.pipeline,
+                    enc_stage: b.enc_stage,
+                    llm_stage: b.llm_stage,
+                    start: b.start,
+                    end: b.end,
+                    compute_work: b.compute_work,
+                    microbatches: b.microbatches,
+                    dir: b.dir.into(),
+                })
+                .collect(),
+            placements: self
+                .placements
+                .iter()
+                .map(|p| KernelPlacement {
+                    pipeline: p.pipeline,
+                    enc_stage: p.enc_stage,
+                    microbatch: p.microbatch,
+                    dir: p.dir.into(),
+                    llm_stage: p.llm_stage,
+                    start: p.start,
+                    end: p.end,
+                    comm: p.comm,
+                    label: intern(&p.label),
+                    anchor: p.anchor,
+                })
+                .collect(),
+            ef: self.ef.clone(),
+            eb: self.eb.clone(),
+            in_bubble_compute: 0,
+            total_compute: 0,
+            relocated: (0, 0),
+            mb_scales: self.mb_scales.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimus::{run_optimus, OptimusConfig};
+    use optimus_baselines::common::SystemContext;
+    use optimus_modeling::MllmConfig;
+
+    fn run() -> (OptimusRun, Workload) {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        (run_optimus(&w, &cfg, &ctx).unwrap(), w)
+    }
+
+    #[test]
+    fn roundtrip_preserves_schedule() {
+        let (r, w) = run();
+        let saved = SavedSchedule::capture(&r, &w);
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        let loaded = SavedSchedule::load(buf.as_slice()).unwrap();
+        assert_eq!(saved, loaded);
+        let outcome = loaded.to_outcome();
+        assert_eq!(outcome.latency, r.outcome.latency);
+        assert_eq!(outcome.partition, r.outcome.partition);
+        assert_eq!(outcome.placements.len(), r.outcome.placements.len());
+        for (a, b) in outcome.placements.iter().zip(&r.outcome.placements) {
+            assert_eq!(
+                (a.start, a.end, a.anchor, a.dir),
+                (b.start, b.end, b.anchor, b.dir)
+            );
+        }
+    }
+
+    #[test]
+    fn validation_detects_mismatch() {
+        let (r, w) = run();
+        let saved = SavedSchedule::capture(&r, &w);
+        saved.validate_for(&w, &r.profile.llm_plan).unwrap();
+        let other = Workload::new(MllmConfig::model_a(), 64, 32, 1);
+        assert!(saved.validate_for(&other, &r.profile.llm_plan).is_err());
+        let other_plan = ParallelPlan::new(1, 4, 2).unwrap();
+        assert!(saved.validate_for(&w, &other_plan).is_err());
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let (r, w) = run();
+        let mut saved = SavedSchedule::capture(&r, &w);
+        saved.version = 99;
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        assert!(SavedSchedule::load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_input_rejected() {
+        assert!(SavedSchedule::load(&b"not json"[..]).is_err());
+    }
+}

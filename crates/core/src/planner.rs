@@ -1,0 +1,147 @@
+//! The model planner (§4.1): fixes the LLM plan, enumerates candidate
+//! encoder plans under the divisibility constraints, and prunes those that
+//! exceed GPU memory.
+
+use optimus_modeling::Workload;
+use optimus_parallel::{enumerate_encoder_plans, ColocationLayout, ParallelPlan};
+
+use crate::error::OptimusError;
+use crate::memory::optimus_memory;
+
+/// One memory-feasible encoder plan candidate.
+#[derive(Debug, Clone)]
+pub struct EncoderCandidate {
+    /// The encoder plan.
+    pub plan: ParallelPlan,
+    /// Its colocation layout over the LLM plan.
+    pub layout: ColocationLayout,
+    /// Estimated per-GPU memory (worst rank) in bytes.
+    pub memory_bytes: u64,
+}
+
+/// Planner output: the LLM plan plus the pruned encoder candidates.
+#[derive(Debug, Clone)]
+pub struct PlannerOutput {
+    /// The fixed LLM plan.
+    pub llm_plan: ParallelPlan,
+    /// Feasible encoder plans, cheapest-memory first.
+    pub candidates: Vec<EncoderCandidate>,
+    /// Plans pruned by the memory constraint.
+    pub pruned: usize,
+}
+
+/// Runs the model planner.
+///
+/// The LLM plan comes from Megatron-LM practice (the paper reuses the
+/// baseline's plan); encoder plans are enumerated with `PP_enc | PP_llm`,
+/// `TP_enc | TP_llm`, `PP_enc` bounded by the shallowest encoder's depth,
+/// and pruned against `hbm_capacity`.
+pub fn plan_model(
+    w: &Workload,
+    llm_plan: &ParallelPlan,
+    hbm_capacity: u64,
+) -> Result<PlannerOutput, OptimusError> {
+    let n_mb = w.microbatches(llm_plan.dp).ok_or_else(|| {
+        OptimusError::Infeasible(format!("batch {} ∤ dp {}", w.global_batch, llm_plan.dp))
+    })?;
+    let max_enc_pp = w
+        .mllm
+        .encoders
+        .iter()
+        .map(|e| e.layers as u32)
+        .min()
+        .unwrap_or(1);
+    let mut candidates = Vec::new();
+    let mut pruned = 0usize;
+    for plan in enumerate_encoder_plans(llm_plan, max_enc_pp) {
+        let layout = match ColocationLayout::new(*llm_plan, plan) {
+            Ok(l) => l,
+            Err(_) => continue,
+        };
+        // Each encoder pipeline must receive at least one microbatch.
+        if layout.pipelines_per_llm_pipeline() > n_mb {
+            continue;
+        }
+        let est = optimus_memory(w, &plan, llm_plan, n_mb);
+        if !est.fits(hbm_capacity) {
+            pruned += 1;
+            continue;
+        }
+        candidates.push(EncoderCandidate {
+            plan,
+            layout,
+            memory_bytes: est.total(),
+        });
+    }
+    candidates.sort_by_key(|c| c.memory_bytes);
+    if candidates.is_empty() {
+        return Err(OptimusError::Infeasible(
+            "no encoder plan fits GPU memory under colocation".into(),
+        ));
+    }
+    Ok(PlannerOutput {
+        llm_plan: *llm_plan,
+        candidates,
+        pruned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_modeling::MllmConfig;
+
+    #[test]
+    fn planner_finds_candidates_for_model_d() {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        let out = plan_model(&w, &llm, 80 << 30).unwrap();
+        assert!(!out.candidates.is_empty());
+        for c in &out.candidates {
+            assert_eq!(llm.pp % c.plan.pp, 0);
+            assert_eq!(llm.tp % c.plan.tp, 0);
+            assert!(c.memory_bytes <= 80 << 30);
+        }
+    }
+
+    #[test]
+    fn tight_memory_prunes_plans() {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        let loose = plan_model(&w, &llm, 200 << 30).unwrap();
+        let tight = plan_model(&w, &llm, 80 << 30).unwrap();
+        assert!(tight.candidates.len() <= loose.candidates.len());
+        assert!(tight.pruned >= loose.pruned);
+    }
+
+    #[test]
+    fn impossible_memory_is_an_error() {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        assert!(matches!(
+            plan_model(&w, &llm, 1 << 30),
+            Err(OptimusError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn candidates_sorted_by_memory() {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        let out = plan_model(&w, &llm, 120 << 30).unwrap();
+        for pair in out.candidates.windows(2) {
+            assert!(pair[0].memory_bytes <= pair[1].memory_bytes);
+        }
+    }
+
+    #[test]
+    fn pipelines_never_exceed_microbatches() {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        let n_mb = w.microbatches(8).unwrap();
+        let out = plan_model(&w, &llm, 80 << 30).unwrap();
+        for c in &out.candidates {
+            assert!(c.layout.pipelines_per_llm_pipeline() <= n_mb);
+        }
+    }
+}

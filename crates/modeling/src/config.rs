@@ -1,0 +1,183 @@
+//! Transformer model configurations, including every model used in the
+//! paper's evaluation (Appendix A, Tables 8 and 9).
+
+/// Architecture of one transformer stack (encoder or LLM backbone).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Human-readable name, e.g. `"ViT-22B"`.
+    pub name: String,
+    /// Hidden width `h`.
+    pub hidden: u64,
+    /// Number of transformer layers.
+    pub layers: u64,
+    /// MLP intermediate dimension `f`.
+    pub ffn_hidden: u64,
+    /// Number of attention (query) heads.
+    pub heads: u64,
+    /// Per-head dimension.
+    pub head_dim: u64,
+    /// Number of key/value heads (`heads` unless grouped-query attention).
+    pub kv_heads: u64,
+    /// Whether the MLP is gated (three matrices, LLaMA-style) rather than a
+    /// plain two-matrix FFN.
+    pub gated_mlp: bool,
+    /// Vocabulary size for token models; 0 for patch-embedding encoders.
+    pub vocab: u64,
+}
+
+impl TransformerConfig {
+    /// Builds a plain (non-gated, full-KV) configuration.
+    pub fn new(
+        name: &str,
+        hidden: u64,
+        layers: u64,
+        ffn_hidden: u64,
+        heads: u64,
+        head_dim: u64,
+    ) -> TransformerConfig {
+        TransformerConfig {
+            name: name.to_string(),
+            hidden,
+            layers,
+            ffn_hidden,
+            heads,
+            head_dim,
+            kv_heads: heads,
+            gated_mlp: false,
+            vocab: 0,
+        }
+    }
+
+    /// Parameter count of the attention block of one layer.
+    pub fn attn_params_per_layer(&self) -> u64 {
+        let kv_dim = self.kv_heads * self.head_dim;
+        // Q and output projections are h×h; K and V are h×kv_dim.
+        self.hidden * self.hidden * 2 + self.hidden * kv_dim * 2
+    }
+
+    /// Parameter count of the MLP block of one layer.
+    pub fn mlp_params_per_layer(&self) -> u64 {
+        let mats = if self.gated_mlp { 3 } else { 2 };
+        self.hidden * self.ffn_hidden * mats
+    }
+
+    /// Parameter count of one transformer layer (attention + MLP + norms).
+    pub fn params_per_layer(&self) -> u64 {
+        self.attn_params_per_layer() + self.mlp_params_per_layer() + 4 * self.hidden
+    }
+
+    /// Embedding / unembedding parameters.
+    pub fn embedding_params(&self) -> u64 {
+        if self.vocab > 0 {
+            // Tied input/output embeddings are rare at this scale; count both.
+            2 * self.vocab * self.hidden
+        } else {
+            // Patch embedding + positional embedding, negligible but nonzero.
+            (3 * 14 * 14 + 1024) * self.hidden
+        }
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.layers * self.params_per_layer() + self.embedding_params()
+    }
+
+    // ---- Encoder presets (Table 8) ------------------------------------
+
+    /// ViT-3B (width 2304, depth 48, MLP 9216, 18 heads).
+    pub fn vit_3b() -> TransformerConfig {
+        TransformerConfig::new("ViT-3B", 2304, 48, 9216, 18, 128)
+    }
+
+    /// ViT-5B (width 3072, depth 48, MLP 12288, 24 heads).
+    pub fn vit_5b() -> TransformerConfig {
+        TransformerConfig::new("ViT-5B", 3072, 48, 12288, 24, 128)
+    }
+
+    /// ViT-10B (width 4096, depth 48, MLP 16384, 32 heads).
+    pub fn vit_10b() -> TransformerConfig {
+        TransformerConfig::new("ViT-10B", 4096, 48, 16384, 32, 128)
+    }
+
+    /// ViT-11B — the paper describes it as a scaled-down ViT-22B with a
+    /// smaller hidden size; width 4352 yields ≈11 B parameters.
+    pub fn vit_11b() -> TransformerConfig {
+        TransformerConfig::new("ViT-11B", 4352, 48, 17408, 34, 128)
+    }
+
+    /// ViT-22B (width 6144, depth 48, MLP 24576, 48 heads) [Dehghani et al.].
+    pub fn vit_22b() -> TransformerConfig {
+        TransformerConfig::new("ViT-22B", 6144, 48, 24576, 48, 128)
+    }
+
+    // ---- LLM backbone presets (Table 9) --------------------------------
+
+    /// GPT-11B (width 3072, depth 80, 24 heads).
+    pub fn gpt_11b() -> TransformerConfig {
+        let mut c = TransformerConfig::new("GPT-11B", 3072, 80, 12288, 24, 128);
+        c.vocab = 51200;
+        c
+    }
+
+    /// LLAMA-70B (width 8192, depth 80, 64 heads, GQA, gated MLP).
+    pub fn llama_70b() -> TransformerConfig {
+        let mut c = TransformerConfig::new("LLAMA-70B", 8192, 80, 28672, 64, 128);
+        c.kv_heads = 8;
+        c.gated_mlp = true;
+        c.vocab = 32000;
+        c
+    }
+
+    /// GPT-175B (width 12288, depth 96, 96 heads) [Brown et al.].
+    pub fn gpt_175b() -> TransformerConfig {
+        let mut c = TransformerConfig::new("GPT-175B", 12288, 96, 49152, 96, 128);
+        c.vocab = 51200;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn billions(p: u64) -> f64 {
+        p as f64 / 1e9
+    }
+
+    #[test]
+    fn preset_param_counts_match_paper_names() {
+        // Each named model must land within ~12% of its nominal size.
+        // Exception: Table 9's GPT-11B dimensions (width 3072, depth 80,
+        // ffn 4h) actually give ≈9.4B parameters; we keep the paper's dims
+        // and accept the wider gap for that preset.
+        let cases: Vec<(TransformerConfig, f64, f64)> = vec![
+            (TransformerConfig::vit_3b(), 3.0, 0.12),
+            (TransformerConfig::vit_5b(), 5.5, 0.12),
+            (TransformerConfig::vit_10b(), 10.0, 0.12),
+            (TransformerConfig::vit_11b(), 11.0, 0.12),
+            (TransformerConfig::vit_22b(), 22.0, 0.12),
+            (TransformerConfig::gpt_11b(), 11.0, 0.16),
+            (TransformerConfig::llama_70b(), 70.0, 0.12),
+            (TransformerConfig::gpt_175b(), 175.0, 0.12),
+        ];
+        for (cfg, nominal, tol) in cases {
+            let b = billions(cfg.total_params());
+            let rel = (b - nominal).abs() / nominal;
+            assert!(rel < tol, "{}: {b:.1}B vs nominal {nominal}B", cfg.name);
+        }
+    }
+
+    #[test]
+    fn gqa_shrinks_attention_params() {
+        let llama = TransformerConfig::llama_70b();
+        let mut full = llama.clone();
+        full.kv_heads = full.heads;
+        assert!(llama.attn_params_per_layer() < full.attn_params_per_layer());
+    }
+
+    #[test]
+    fn gated_mlp_has_three_matrices() {
+        let llama = TransformerConfig::llama_70b();
+        assert_eq!(llama.mlp_params_per_layer(), 3 * 8192 * 28672);
+    }
+}

@@ -1,0 +1,107 @@
+//! Analytic FLOP counts for transformer layers and full models.
+//!
+//! These counts feed two consumers: kernel-duration estimation (together with
+//! the hardware roofline) and the Model FLOPs Utilization (MFU) metric the
+//! paper reports in Table 5.
+
+use crate::config::TransformerConfig;
+
+/// FLOPs for one *forward* pass of one transformer layer over a `batch` of
+/// sequences of length `seq` (full model, before tensor-parallel division).
+pub fn layer_fwd_flops(cfg: &TransformerConfig, batch: u64, seq: u64) -> f64 {
+    let (b, s, h) = (batch as f64, seq as f64, cfg.hidden as f64);
+    let kv_dim = (cfg.kv_heads * cfg.head_dim) as f64;
+    let f = cfg.ffn_hidden as f64;
+    let attn_dim = (cfg.heads * cfg.head_dim) as f64;
+
+    // Projections: Q (h→h), K,V (h→kv_dim each), output (h→h).
+    let proj = 2.0 * b * s * h * (2.0 * h + 2.0 * kv_dim);
+    // Attention score + context batched matmuls: 2 × (2·b·s²·attn_dim).
+    let attn = 2.0 * 2.0 * b * s * s * attn_dim;
+    // MLP: two (or three, gated) h×f matmuls.
+    let mats = if cfg.gated_mlp { 3.0 } else { 2.0 };
+    let mlp = mats * 2.0 * b * s * h * f;
+    proj + attn + mlp
+}
+
+/// FLOPs for one *backward* pass of one layer (standard 2× forward: gradients
+/// w.r.t. both inputs and weights).
+pub fn layer_bwd_flops(cfg: &TransformerConfig, batch: u64, seq: u64) -> f64 {
+    2.0 * layer_fwd_flops(cfg, batch, seq)
+}
+
+/// Model FLOPs for one full training step (forward + backward) of the whole
+/// stack over `batch` sequences of `seq` tokens.
+///
+/// This is the numerator of the MFU metric: only "useful" model FLOPs count,
+/// no recomputation or communication.
+pub fn model_step_flops(cfg: &TransformerConfig, batch: u64, seq: u64) -> f64 {
+    let per_layer = layer_fwd_flops(cfg, batch, seq) + layer_bwd_flops(cfg, batch, seq);
+    let logits = if cfg.vocab > 0 {
+        // Output projection fwd+bwd: 3 × 2·b·s·h·V.
+        3.0 * 2.0 * (batch * seq) as f64 * (cfg.hidden * cfg.vocab) as f64
+    } else {
+        0.0
+    };
+    cfg.layers as f64 * per_layer + logits
+}
+
+/// Model FLOPs Utilization: achieved model FLOPs per second divided by the
+/// aggregate peak of the cluster.
+pub fn mfu(model_flops: f64, step_seconds: f64, num_gpus: u64, peak_flops_per_gpu: f64) -> f64 {
+    model_flops / (step_seconds * num_gpus as f64 * peak_flops_per_gpu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt_step_flops_matches_6nd_rule() {
+        // For dense GPT models, fwd+bwd model FLOPs ≈ 6·params·tokens
+        // (ignoring the attention s² term which adds a few percent at s=2048).
+        let cfg = TransformerConfig::gpt_175b();
+        let (batch, seq) = (1536u64, 2048u64);
+        let tokens = (batch * seq) as f64;
+        let approx = 6.0 * cfg.total_params() as f64 * tokens;
+        let exact = model_step_flops(&cfg, batch, seq);
+        let rel = (exact - approx).abs() / approx;
+        assert!(
+            rel < 0.15,
+            "exact {exact:.3e} vs 6ND {approx:.3e} (rel {rel:.3})"
+        );
+    }
+
+    #[test]
+    fn backward_is_twice_forward() {
+        let cfg = TransformerConfig::vit_22b();
+        assert_eq!(
+            layer_bwd_flops(&cfg, 4, 576),
+            2.0 * layer_fwd_flops(&cfg, 4, 576)
+        );
+    }
+
+    #[test]
+    fn flops_scale_linearly_in_batch() {
+        let cfg = TransformerConfig::llama_70b();
+        let one = layer_fwd_flops(&cfg, 1, 2048);
+        let eight = layer_fwd_flops(&cfg, 8, 2048);
+        assert!((eight / one - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn attention_term_grows_quadratically_in_seq() {
+        let cfg = TransformerConfig::gpt_175b();
+        let short = layer_fwd_flops(&cfg, 1, 1024);
+        let long = layer_fwd_flops(&cfg, 1, 2048);
+        // Doubling seq more than doubles FLOPs (s² attention term).
+        assert!(long > 2.0 * short);
+        assert!(long < 4.0 * short);
+    }
+
+    #[test]
+    fn mfu_basic() {
+        // 1 PFLOP of work in 1 s on 1 GPU of 2 PFLOP/s peak = 50% MFU.
+        assert!((mfu(1e15, 1.0, 1, 2e15) - 0.5).abs() < 1e-12);
+    }
+}

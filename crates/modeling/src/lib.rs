@@ -1,0 +1,35 @@
+//! Model zoo and analytic cost model for the Optimus reproduction.
+//!
+//! Provides every model configuration used in the paper's evaluation
+//! (Appendix A), FLOP accounting for layers and full training steps, the
+//! kernel-level decomposition of transformer layers that the bubble scheduler
+//! packs into sub-millisecond bubbles, and the memory model the planner uses
+//! to prune parallel plans.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_modeling::{MllmConfig, TransformerConfig};
+//!
+//! let model = MllmConfig::model_d();
+//! assert_eq!(model.llm.name, "GPT-175B");
+//! let vit = TransformerConfig::vit_22b();
+//! assert!(vit.total_params() > 20_000_000_000);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flops;
+pub mod kernels;
+pub mod memory;
+pub mod mllm;
+pub mod traces;
+pub mod workload;
+
+pub use config::TransformerConfig;
+pub use kernels::{layer_kernels, KernelBody, KernelSpec, KernelTimer, Pass};
+pub use memory::{MemoryEstimate, Recompute};
+pub use mllm::MllmConfig;
+pub use traces::{ResolutionTier, TraceConfig};
+pub use workload::{StepReport, Workload};

@@ -1,0 +1,192 @@
+//! Multimodal LLM assembly: one or more modality encoders feeding an LLM
+//! backbone through an input projector (§2.1, Fig. 1).
+//!
+//! Per the paper, the input projector's compute is negligible and is treated
+//! as the final layer of its encoder; we fold its parameters into the encoder
+//! totals and ignore its FLOPs.
+
+use crate::config::TransformerConfig;
+
+/// A complete multimodal LLM: encoders + projectors + LLM backbone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MllmConfig {
+    /// Model name, e.g. `"Model D"`.
+    pub name: String,
+    /// Modality encoders (one per branch; §4.4 covers multi-branch models).
+    pub encoders: Vec<TransformerConfig>,
+    /// LLM backbone.
+    pub llm: TransformerConfig,
+    /// LLM sequence length in tokens (2048 in every paper experiment).
+    pub llm_seq: u64,
+    /// Visual tokens produced per sample by each encoder (24×24 patch grid).
+    pub encoder_seq: u64,
+}
+
+impl MllmConfig {
+    /// Builds a single-encoder MLLM with the paper's sequence lengths.
+    pub fn new(name: &str, encoder: TransformerConfig, llm: TransformerConfig) -> MllmConfig {
+        MllmConfig {
+            name: name.to_string(),
+            encoders: vec![encoder],
+            llm,
+            llm_seq: 2048,
+            encoder_seq: 576,
+        }
+    }
+
+    /// Builds a multi-encoder MLLM (Table 6 DualEnc configurations).
+    pub fn multi(
+        name: &str,
+        encoders: Vec<TransformerConfig>,
+        llm: TransformerConfig,
+    ) -> MllmConfig {
+        MllmConfig {
+            name: name.to_string(),
+            encoders,
+            llm,
+            llm_seq: 2048,
+            encoder_seq: 576,
+        }
+    }
+
+    /// Projector parameters for one encoder (a linear map from encoder width
+    /// to LLM width, folded into the encoder's final layer).
+    pub fn projector_params(&self, encoder: &TransformerConfig) -> u64 {
+        encoder.hidden * self.llm.hidden + self.llm.hidden
+    }
+
+    /// Total parameters of all encoders including projectors.
+    pub fn encoder_params(&self) -> u64 {
+        self.encoders
+            .iter()
+            .map(|e| e.total_params() + self.projector_params(e))
+            .sum()
+    }
+
+    /// Total parameters of the full MLLM.
+    pub fn total_params(&self) -> u64 {
+        self.encoder_params() + self.llm.total_params()
+    }
+
+    /// True when the model has more than one encoder branch.
+    pub fn is_multi_branch(&self) -> bool {
+        self.encoders.len() > 1
+    }
+
+    // ---- Paper evaluation presets --------------------------------------
+
+    /// Model A: ViT-11B + LLAMA-70B (Table 3, 64 GPUs, batch 32).
+    pub fn model_a() -> MllmConfig {
+        MllmConfig::new(
+            "Model A",
+            TransformerConfig::vit_11b(),
+            TransformerConfig::llama_70b(),
+        )
+    }
+
+    /// Model B: ViT-22B + LLAMA-70B (Table 3, 128 GPUs, batch 64).
+    pub fn model_b() -> MllmConfig {
+        MllmConfig::new(
+            "Model B",
+            TransformerConfig::vit_22b(),
+            TransformerConfig::llama_70b(),
+        )
+    }
+
+    /// Model C: ViT-11B + GPT-175B (Table 3, 256 GPUs, batch 128).
+    pub fn model_c() -> MllmConfig {
+        MllmConfig::new(
+            "Model C",
+            TransformerConfig::vit_11b(),
+            TransformerConfig::gpt_175b(),
+        )
+    }
+
+    /// Model D: ViT-22B + GPT-175B (Table 3, 512 GPUs, batch 256; also the
+    /// strong-scaling model of Table 5).
+    pub fn model_d() -> MllmConfig {
+        MllmConfig::new(
+            "Model D",
+            TransformerConfig::vit_22b(),
+            TransformerConfig::gpt_175b(),
+        )
+    }
+
+    /// Small model of Appendix C: ViT-3B + GPT-11B on 8 GPUs.
+    pub fn small() -> MllmConfig {
+        MllmConfig::new(
+            "ViT-3B+GPT-11B",
+            TransformerConfig::vit_3b(),
+            TransformerConfig::gpt_11b(),
+        )
+    }
+
+    /// DualEnc(11B, 5B): ViT-11B + ViT-5B + GPT-175B (Table 6).
+    pub fn dual_enc_11_5() -> MllmConfig {
+        MllmConfig::multi(
+            "DualEnc(11B, 5B)",
+            vec![TransformerConfig::vit_11b(), TransformerConfig::vit_5b()],
+            TransformerConfig::gpt_175b(),
+        )
+    }
+
+    /// DualEnc(22B, 5B): ViT-22B + ViT-5B + GPT-175B (Table 6).
+    pub fn dual_enc_22_5() -> MllmConfig {
+        MllmConfig::multi(
+            "DualEnc(22B, 5B)",
+            vec![TransformerConfig::vit_22b(), TransformerConfig::vit_5b()],
+            TransformerConfig::gpt_175b(),
+        )
+    }
+
+    /// DualEnc(22B, 11B): ViT-22B + ViT-11B + GPT-175B (Table 6).
+    pub fn dual_enc_22_11() -> MllmConfig {
+        MllmConfig::multi(
+            "DualEnc(22B, 11B)",
+            vec![TransformerConfig::vit_22b(), TransformerConfig::vit_11b()],
+            TransformerConfig::gpt_175b(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llm_dominates_parameters() {
+        // §2.1: "the LLM backbone has a significantly larger number of
+        // parameters compared to other components".
+        for m in [
+            MllmConfig::model_a(),
+            MllmConfig::model_b(),
+            MllmConfig::model_c(),
+            MllmConfig::model_d(),
+        ] {
+            assert!(m.llm.total_params() > 2 * m.encoder_params(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn projector_folded_into_encoder() {
+        let m = MllmConfig::model_d();
+        let proj = m.projector_params(&m.encoders[0]);
+        assert_eq!(proj, 6144 * 12288 + 12288);
+        assert!(m.encoder_params() > m.encoders[0].total_params());
+    }
+
+    #[test]
+    fn dual_encoder_counts_both() {
+        let d = MllmConfig::dual_enc_22_11();
+        assert!(d.is_multi_branch());
+        let single = MllmConfig::model_d();
+        assert!(d.encoder_params() > single.encoder_params());
+    }
+
+    #[test]
+    fn paper_sequence_lengths() {
+        let m = MllmConfig::model_d();
+        assert_eq!(m.llm_seq, 2048);
+        assert_eq!(m.encoder_seq, 576);
+    }
+}

@@ -1,0 +1,250 @@
+//! Synthetic multimodal data traces.
+//!
+//! The paper trains on ByteDance production multimodal data, which is not
+//! available; per the substitution rule we generate the closest synthetic
+//! equivalent: batches mixing text-only samples with samples carrying a
+//! variable number of images at different resolution tiers. What the
+//! scheduler ultimately consumes is the *encoder load per microbatch* —
+//! the number of visual tokens relative to the uniform one-image-per-sample
+//! assumption — so the generator's output is a per-microbatch load scale
+//! vector.
+
+use rand::{RngExt, SeedableRng};
+
+/// One image-resolution tier: a relative frequency and the visual-token
+/// multiplier versus the base resolution (e.g. tiling a high-resolution
+/// image into four base tiles → multiplier 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolutionTier {
+    /// Relative sampling weight.
+    pub weight: f64,
+    /// Visual tokens relative to the base tier.
+    pub token_multiplier: f64,
+}
+
+/// Configuration of the synthetic multimodal data distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// Fraction of samples that carry at least one image.
+    pub image_sample_ratio: f64,
+    /// Maximum images attached to one sample (uniform in `1..=max`).
+    pub max_images_per_sample: u32,
+    /// Resolution tiers (weights need not sum to 1).
+    pub tiers: Vec<ResolutionTier>,
+}
+
+impl TraceConfig {
+    /// A LLaVA-style instruction-tuning mix: most samples carry one base-
+    /// resolution image, a minority are text-only or multi-image, and a
+    /// small high-resolution tier quadruples the visual tokens.
+    pub fn llava_style() -> TraceConfig {
+        TraceConfig {
+            image_sample_ratio: 0.85,
+            max_images_per_sample: 2,
+            tiers: vec![
+                ResolutionTier {
+                    weight: 0.8,
+                    token_multiplier: 1.0,
+                },
+                ResolutionTier {
+                    weight: 0.2,
+                    token_multiplier: 4.0,
+                },
+            ],
+        }
+    }
+
+    /// An interleaved web-document mix (MMC4/OBELICS-like): images are
+    /// rarer per sample but burstier, with wide resolution spread.
+    pub fn web_interleaved() -> TraceConfig {
+        TraceConfig {
+            image_sample_ratio: 0.6,
+            max_images_per_sample: 6,
+            tiers: vec![
+                ResolutionTier {
+                    weight: 0.6,
+                    token_multiplier: 1.0,
+                },
+                ResolutionTier {
+                    weight: 0.3,
+                    token_multiplier: 2.0,
+                },
+                ResolutionTier {
+                    weight: 0.1,
+                    token_multiplier: 4.0,
+                },
+            ],
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn check(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.image_sample_ratio) {
+            return Err(format!(
+                "image_sample_ratio {} outside [0,1]",
+                self.image_sample_ratio
+            ));
+        }
+        if self.max_images_per_sample == 0 {
+            return Err("max_images_per_sample must be >= 1".into());
+        }
+        if self.tiers.is_empty()
+            || self
+                .tiers
+                .iter()
+                .any(|t| t.weight < 0.0 || t.token_multiplier <= 0.0)
+        {
+            return Err(
+                "tiers must be non-empty with non-negative weights and positive multipliers".into(),
+            );
+        }
+        if self.tiers.iter().map(|t| t.weight).sum::<f64>() <= 0.0 {
+            return Err("tier weights must not all be zero".into());
+        }
+        Ok(())
+    }
+
+    /// Expected visual-token load per sample, relative to one base image.
+    pub fn mean_load(&self) -> f64 {
+        let wsum: f64 = self.tiers.iter().map(|t| t.weight).sum();
+        let mean_mult: f64 = self
+            .tiers
+            .iter()
+            .map(|t| t.weight * t.token_multiplier)
+            .sum::<f64>()
+            / wsum;
+        let mean_images = (1.0 + f64::from(self.max_images_per_sample)) / 2.0;
+        self.image_sample_ratio * mean_images * mean_mult
+    }
+
+    /// Draws the visual-token load of one sample (relative to one base
+    /// image; 0.0 for text-only samples).
+    fn sample_load<R: rand::Rng>(&self, rng: &mut R) -> f64 {
+        if rng.random_range(0.0..1.0) >= self.image_sample_ratio {
+            return 0.0;
+        }
+        let images = rng.random_range(1..=self.max_images_per_sample);
+        let wsum: f64 = self.tiers.iter().map(|t| t.weight).sum();
+        let mut load = 0.0;
+        for _ in 0..images {
+            let mut pick = rng.random_range(0.0..wsum);
+            let mut mult = self.tiers.last().map(|t| t.token_multiplier).unwrap_or(1.0);
+            for t in &self.tiers {
+                if pick < t.weight {
+                    mult = t.token_multiplier;
+                    break;
+                }
+                pick -= t.weight;
+            }
+            load += mult;
+        }
+        load
+    }
+
+    /// Generates per-microbatch encoder load scales for `n_microbatches`
+    /// microbatches of `microbatch_size` samples each, normalised to mean 1
+    /// (so total encoder work matches the uniform assumption the cost model
+    /// is calibrated for). Deterministic in `seed`.
+    pub fn microbatch_scales(
+        &self,
+        n_microbatches: u32,
+        microbatch_size: u32,
+        seed: u64,
+    ) -> Result<Vec<f64>, String> {
+        self.check()?;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut scales: Vec<f64> = (0..n_microbatches)
+            .map(|_| {
+                (0..microbatch_size.max(1))
+                    .map(|_| self.sample_load(&mut rng))
+                    .sum::<f64>()
+            })
+            .collect();
+        let mean = scales.iter().sum::<f64>() / f64::from(n_microbatches.max(1));
+        if mean <= 0.0 {
+            return Err("trace produced zero total encoder load".into());
+        }
+        // Floor at a small positive value: a text-only microbatch still runs
+        // the (empty-ish) encoder pass in real systems.
+        for s in &mut scales {
+            *s = (*s / mean).max(0.05);
+        }
+        Ok(scales)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        TraceConfig::llava_style().check().unwrap();
+        TraceConfig::web_interleaved().check().unwrap();
+    }
+
+    #[test]
+    fn scales_normalised_and_deterministic() {
+        let cfg = TraceConfig::llava_style();
+        let a = cfg.microbatch_scales(32, 2, 9).unwrap();
+        let b = cfg.microbatch_scales(32, 2, 9).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 32);
+        let mean = a.iter().sum::<f64>() / 32.0;
+        // The text-only floor can push the mean slightly above 1.
+        assert!((0.95..1.1).contains(&mean), "mean {mean}");
+        assert!(a.iter().all(|&x| x >= 0.05));
+    }
+
+    #[test]
+    fn web_mix_is_burstier_than_llava() {
+        let spread = |v: &[f64]| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let llava = TraceConfig::llava_style()
+            .microbatch_scales(64, 1, 3)
+            .unwrap();
+        let web = TraceConfig::web_interleaved()
+            .microbatch_scales(64, 1, 3)
+            .unwrap();
+        assert!(
+            spread(&web) > spread(&llava),
+            "web {} llava {}",
+            spread(&web),
+            spread(&llava)
+        );
+    }
+
+    #[test]
+    fn larger_microbatches_smooth_the_load() {
+        let cfg = TraceConfig::web_interleaved();
+        let spread = |v: &[f64]| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        let small = cfg.microbatch_scales(64, 1, 5).unwrap();
+        let big = cfg.microbatch_scales(64, 16, 5).unwrap();
+        assert!(spread(&big) < spread(&small));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = TraceConfig::llava_style();
+        c.image_sample_ratio = 1.5;
+        assert!(c.check().is_err());
+        let mut c = TraceConfig::llava_style();
+        c.max_images_per_sample = 0;
+        assert!(c.check().is_err());
+        let mut c = TraceConfig::llava_style();
+        c.tiers.clear();
+        assert!(c.check().is_err());
+    }
+
+    #[test]
+    fn mean_load_formula_consistent() {
+        let cfg = TraceConfig::llava_style();
+        // 0.85 ratio × mean 1.5 images × mean multiplier 1.6 = 2.04.
+        assert!((cfg.mean_load() - 0.85 * 1.5 * 1.6).abs() < 1e-12);
+    }
+}

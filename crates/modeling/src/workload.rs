@@ -1,0 +1,188 @@
+//! Training workload descriptions and step reports shared by every system
+//! (baselines and Optimus).
+
+use crate::mllm::MllmConfig;
+
+/// One training job: model + cluster size + batching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// The MLLM being trained.
+    pub mllm: MllmConfig,
+    /// Total GPUs.
+    pub num_gpus: u32,
+    /// Global batch size (samples per step).
+    pub global_batch: u32,
+    /// Sequences per microbatch.
+    pub microbatch_size: u32,
+}
+
+impl Workload {
+    /// Builds a workload.
+    pub fn new(
+        mllm: MllmConfig,
+        num_gpus: u32,
+        global_batch: u32,
+        microbatch_size: u32,
+    ) -> Workload {
+        Workload {
+            mllm,
+            num_gpus,
+            global_batch,
+            microbatch_size,
+        }
+    }
+
+    /// Microbatches per data-parallel pipeline for a DP degree.
+    ///
+    /// Returns `None` when the batch does not divide evenly.
+    pub fn microbatches(&self, dp: u32) -> Option<u32> {
+        let per_rank = self.global_batch.checked_div(dp)?;
+        if per_rank == 0 || self.global_batch % dp != 0 || per_rank % self.microbatch_size != 0 {
+            return None;
+        }
+        Some(per_rank / self.microbatch_size)
+    }
+
+    /// The weak-scaling experiments of Table 3 (with Appendix D.1 microbatch
+    /// size 1), as (workload, megatron plan `(dp, pp, tp)`, balanced `V`).
+    pub fn weak_scaling() -> Vec<(Workload, (u32, u32, u32), u32)> {
+        vec![
+            (
+                Workload::new(MllmConfig::model_a(), 64, 32, 1),
+                (2, 4, 8),
+                6,
+            ),
+            (
+                Workload::new(MllmConfig::model_b(), 128, 64, 1),
+                (4, 4, 8),
+                6,
+            ),
+            (
+                Workload::new(MllmConfig::model_c(), 256, 128, 1),
+                (4, 8, 8),
+                12,
+            ),
+            (
+                Workload::new(MllmConfig::model_d(), 512, 256, 1),
+                (8, 8, 8),
+                12,
+            ),
+        ]
+    }
+
+    /// The strong-scaling experiments of Table 5 / Appendix D.2: Model D,
+    /// batch 1536, microbatch size 2, at 1536/2048/3072 GPUs.
+    pub fn strong_scaling() -> Vec<(Workload, (u32, u32, u32), u32)> {
+        vec![
+            (
+                Workload::new(MllmConfig::model_d(), 1536, 1536, 2),
+                (24, 8, 8),
+                12,
+            ),
+            (
+                Workload::new(MllmConfig::model_d(), 2048, 1536, 2),
+                (32, 8, 8),
+                12,
+            ),
+            (
+                Workload::new(MllmConfig::model_d(), 3072, 1536, 2),
+                (48, 8, 8),
+                12,
+            ),
+        ]
+    }
+
+    /// Multi-encoder experiments of Table 6: 512 GPUs, batch 256,
+    /// (DP=8, PP=8, TP=8), microbatch size 2 (Appendix D.3).
+    pub fn multi_encoder() -> Vec<(Workload, (u32, u32, u32))> {
+        vec![
+            (
+                Workload::new(MllmConfig::dual_enc_11_5(), 512, 256, 2),
+                (8, 8, 8),
+            ),
+            (
+                Workload::new(MllmConfig::dual_enc_22_5(), 512, 256, 2),
+                (8, 8, 8),
+            ),
+            (
+                Workload::new(MllmConfig::dual_enc_22_11(), 512, 256, 2),
+                (8, 8, 8),
+            ),
+        ]
+    }
+
+    /// The Appendix C small-model comparison: ViT-3B + GPT-11B, 8 A100s,
+    /// batch 16.
+    pub fn small_model() -> Workload {
+        Workload::new(MllmConfig::small(), 8, 16, 1)
+    }
+}
+
+/// Outcome of one simulated training step under one system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepReport {
+    /// System name ("Megatron-LM", "Optimus", ...).
+    pub system: String,
+    /// Iteration time in seconds.
+    pub iteration_secs: f64,
+    /// Model FLOPs Utilization.
+    pub mfu: f64,
+    /// Aggregate achieved PFLOP/s across the cluster.
+    pub aggregate_pflops: f64,
+    /// Peak per-GPU memory in GiB.
+    pub peak_memory_gib: f64,
+    /// True when the configuration does not fit (OOM / infeasible); timing
+    /// fields are then meaningless.
+    pub oom: bool,
+}
+
+impl StepReport {
+    /// A report for a configuration that failed to fit.
+    pub fn oom(system: &str, peak_memory_gib: f64) -> StepReport {
+        StepReport {
+            system: system.to_string(),
+            iteration_secs: f64::INFINITY,
+            mfu: 0.0,
+            aggregate_pflops: 0.0,
+            peak_memory_gib,
+            oom: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microbatch_counts_match_table7() {
+        // Table 7: 32 / 24 / 16 microbatches at 1536 / 2048 / 3072 GPUs.
+        let expected = [32u32, 24, 16];
+        for ((w, (dp, _, _), _), want) in Workload::strong_scaling().into_iter().zip(expected) {
+            assert_eq!(w.microbatches(dp), Some(want));
+        }
+    }
+
+    #[test]
+    fn weak_scaling_microbatches_divisible_by_pp() {
+        for (w, (dp, pp, _), _) in Workload::weak_scaling() {
+            let n = w.microbatches(dp).unwrap();
+            assert_eq!(n % pp, 0, "{}", w.mllm.name);
+        }
+    }
+
+    #[test]
+    fn uneven_batch_rejected() {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        assert_eq!(w.microbatches(3), None);
+        assert_eq!(w.microbatches(32), None); // fewer samples than ranks
+        assert_eq!(w.microbatches(16), Some(1));
+    }
+
+    #[test]
+    fn oom_report_is_marked() {
+        let r = StepReport::oom("FSDP", 153.0);
+        assert!(r.oom);
+        assert!(r.iteration_secs.is_infinite());
+    }
+}

@@ -1,0 +1,118 @@
+//! Enumeration of candidate 3D parallelism plans.
+//!
+//! The model planner (§4.1) fixes the LLM plan from Megatron-LM practice and
+//! then "enumerates potential 3D parallelism plans (DP_enc, PP_enc, TP_enc)"
+//! for the encoder, subject to the colocation constraints that `PP_enc`
+//! divides `PP_llm` and `TP_enc` divides `TP_llm`.
+
+use crate::plan::ParallelPlan;
+
+/// All divisors of `n`, ascending.
+pub fn divisors(n: u32) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut i = 1;
+    while i * i <= n {
+        if n % i == 0 {
+            out.push(i);
+            if i != n / i {
+                out.push(n / i);
+            }
+        }
+        i += 1;
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Enumerates every (DP, PP, TP) factorisation of `num_gpus` with `tp` not
+/// exceeding (and dividing) the node width and `pp ≤ max_pp`.
+pub fn enumerate_plans(num_gpus: u32, gpus_per_node: u32, max_pp: u32) -> Vec<ParallelPlan> {
+    let mut plans = Vec::new();
+    for tp in divisors(num_gpus) {
+        if tp > gpus_per_node || gpus_per_node % tp != 0 {
+            continue;
+        }
+        let rest = num_gpus / tp;
+        for pp in divisors(rest) {
+            if pp > max_pp {
+                continue;
+            }
+            let dp = rest / pp;
+            if let Ok(p) = ParallelPlan::new(dp, pp, tp) {
+                plans.push(p);
+            }
+        }
+    }
+    plans
+}
+
+/// Enumerates encoder plans compatible with a fixed LLM plan over the same
+/// GPUs (§4.1): `PP_enc | PP_llm`, `TP_enc | TP_llm`, and the encoder plan
+/// occupies exactly the same GPU count.
+///
+/// `max_pp` additionally caps `PP_enc` at the number of encoder layers.
+pub fn enumerate_encoder_plans(llm: &ParallelPlan, max_pp: u32) -> Vec<ParallelPlan> {
+    let total = llm.num_gpus();
+    let mut plans = Vec::new();
+    for tp in divisors(llm.tp) {
+        for pp in divisors(llm.pp) {
+            if pp > max_pp {
+                continue;
+            }
+            let dp = total / (pp * tp);
+            if let Ok(p) = ParallelPlan::new(dp, pp, tp) {
+                plans.push(p);
+            }
+        }
+    }
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_of_12() {
+        assert_eq!(divisors(12), vec![1, 2, 3, 4, 6, 12]);
+        assert_eq!(divisors(1), vec![1]);
+    }
+
+    #[test]
+    fn plans_tile_the_cluster() {
+        for p in enumerate_plans(64, 8, 16) {
+            assert_eq!(p.num_gpus(), 64);
+            assert!(p.tp <= 8);
+        }
+    }
+
+    #[test]
+    fn encoder_plans_divide_llm_plan() {
+        let llm = ParallelPlan::new(1, 4, 2).unwrap();
+        let encs = enumerate_encoder_plans(&llm, 48);
+        assert!(!encs.is_empty());
+        for e in &encs {
+            assert_eq!(llm.pp % e.pp, 0, "{e}");
+            assert_eq!(llm.tp % e.tp, 0, "{e}");
+            assert_eq!(e.num_gpus(), llm.num_gpus(), "{e}");
+            // DP_enc is a multiple of DP_llm by construction.
+            assert_eq!(e.dp % llm.dp, 0, "{e}");
+        }
+        // Figure 5's example plan must be among them: (DP=2, PP=2, TP=2).
+        assert!(encs.contains(&ParallelPlan::new(2, 2, 2).unwrap()));
+    }
+
+    #[test]
+    fn encoder_pp_capped_by_layers() {
+        let llm = ParallelPlan::new(1, 8, 8).unwrap();
+        let encs = enumerate_encoder_plans(&llm, 2);
+        assert!(encs.iter().all(|e| e.pp <= 2));
+    }
+
+    #[test]
+    fn strong_scaling_llm_plan_enumerable() {
+        // (DP=48, PP=8, TP=8) on 3072 GPUs must be in the general enumeration.
+        let plans = enumerate_plans(3072, 8, 8);
+        assert!(plans.contains(&ParallelPlan::new(48, 8, 8).unwrap()));
+    }
+}

@@ -1,0 +1,58 @@
+//! Errors for parallel-plan construction and enumeration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or validating parallel plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// Every parallel degree must be at least 1.
+    ZeroDegree,
+    /// Plan GPU count does not match the cluster.
+    GpuMismatch {
+        /// GPUs required by the plan.
+        plan: u32,
+        /// GPUs in the cluster.
+        cluster: u32,
+    },
+    /// A tensor-parallel group would span server boundaries.
+    TpSpansNodes {
+        /// Tensor-parallel degree.
+        tp: u32,
+        /// GPUs per node.
+        gpus_per_node: u32,
+    },
+    /// Encoder plan degrees must divide the LLM plan degrees (§4.1).
+    IncompatibleEncoderPlan {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A microbatch partition request was invalid.
+    BadPartition {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::ZeroDegree => write!(f, "parallel degrees must be >= 1"),
+            PlanError::GpuMismatch { plan, cluster } => {
+                write!(f, "plan needs {plan} GPUs but cluster has {cluster}")
+            }
+            PlanError::TpSpansNodes { tp, gpus_per_node } => {
+                write!(
+                    f,
+                    "TP={tp} does not fit within nodes of {gpus_per_node} GPUs"
+                )
+            }
+            PlanError::IncompatibleEncoderPlan { reason } => {
+                write!(f, "incompatible encoder plan: {reason}")
+            }
+            PlanError::BadPartition { reason } => write!(f, "bad microbatch partition: {reason}"),
+        }
+    }
+}
+
+impl Error for PlanError {}

@@ -1,0 +1,181 @@
+//! Colocation layout: how encoder pipelines tile the GPUs of one LLM
+//! pipeline (Design Decision 1, Fig. 5).
+//!
+//! Within one LLM data-parallel replica there are `PP_llm × TP_llm` GPUs.
+//! An encoder plan with `PP_enc | PP_llm` and `TP_enc | TP_llm` tiles those
+//! GPUs into `m = (PP_llm/PP_enc) · (TP_llm/TP_enc) · 1` encoder pipelines:
+//! `blocks = PP_llm/PP_enc` contiguous stage blocks × `lanes = TP_llm/TP_enc`
+//! tensor-parallel sub-groups. Every GPU hosts exactly one encoder pipeline
+//! stage in addition to its LLM stage, so all GPUs can run encoder work
+//! during LLM bubbles.
+
+use crate::error::PlanError;
+use crate::plan::ParallelPlan;
+
+/// The tiling of encoder pipelines over one LLM pipeline's GPUs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColocationLayout {
+    /// The LLM plan.
+    pub llm: ParallelPlan,
+    /// The encoder plan.
+    pub enc: ParallelPlan,
+    /// TP sub-groups per LLM TP group (`TP_llm / TP_enc`).
+    pub lanes: u32,
+    /// Contiguous LLM-stage blocks (`PP_llm / PP_enc`).
+    pub blocks: u32,
+}
+
+impl ColocationLayout {
+    /// Builds the layout, validating the §4.1 divisibility constraints.
+    pub fn new(llm: ParallelPlan, enc: ParallelPlan) -> Result<ColocationLayout, PlanError> {
+        if llm.pp % enc.pp != 0 {
+            return Err(PlanError::IncompatibleEncoderPlan {
+                reason: format!("PP_enc={} does not divide PP_llm={}", enc.pp, llm.pp),
+            });
+        }
+        if llm.tp % enc.tp != 0 {
+            return Err(PlanError::IncompatibleEncoderPlan {
+                reason: format!("TP_enc={} does not divide TP_llm={}", enc.tp, llm.tp),
+            });
+        }
+        if enc.num_gpus() != llm.num_gpus() {
+            return Err(PlanError::IncompatibleEncoderPlan {
+                reason: format!(
+                    "encoder plan covers {} GPUs, LLM plan covers {}",
+                    enc.num_gpus(),
+                    llm.num_gpus()
+                ),
+            });
+        }
+        Ok(ColocationLayout {
+            llm,
+            enc,
+            lanes: llm.tp / enc.tp,
+            blocks: llm.pp / enc.pp,
+        })
+    }
+
+    /// Number of encoder pipelines colocated with one LLM pipeline — the
+    /// paper's `m = DP_enc / DP_llm`.
+    pub fn pipelines_per_llm_pipeline(&self) -> u32 {
+        self.lanes * self.blocks
+    }
+
+    /// The LLM pipeline stage hosting stage `enc_stage` of encoder pipeline
+    /// `pipeline` (0-based). Encoder pipelines are numbered block-major:
+    /// pipeline `p` lives in block `p / lanes`, lane `p % lanes`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipeline` or `enc_stage` is out of range.
+    pub fn host_llm_stage(&self, pipeline: u32, enc_stage: u32) -> u32 {
+        assert!(
+            pipeline < self.pipelines_per_llm_pipeline(),
+            "pipeline {pipeline} out of range"
+        );
+        assert!(
+            enc_stage < self.enc.pp,
+            "encoder stage {enc_stage} out of range"
+        );
+        let block = pipeline / self.lanes;
+        block * self.enc.pp + enc_stage
+    }
+
+    /// The lane (TP sub-group index) of an encoder pipeline.
+    pub fn lane_of(&self, pipeline: u32) -> u32 {
+        pipeline % self.lanes
+    }
+
+    /// Encoder pipelines hosted (in part) on a given LLM stage.
+    pub fn pipelines_on_llm_stage(&self, llm_stage: u32) -> Vec<u32> {
+        let block = llm_stage / self.enc.pp;
+        (0..self.lanes)
+            .map(|lane| block * self.lanes + lane)
+            .collect()
+    }
+
+    /// The encoder stage that `pipeline` runs on `llm_stage`, if any.
+    pub fn enc_stage_on(&self, pipeline: u32, llm_stage: u32) -> Option<u32> {
+        let block = pipeline / self.lanes;
+        let first = block * self.enc.pp;
+        if llm_stage >= first && llm_stage < first + self.enc.pp {
+            Some(llm_stage - first)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 5 example: encoder (DP=2, PP=2, TP=2), LLM (DP=1, PP=4,
+    /// TP=2) over 8 GPUs.
+    fn figure5() -> ColocationLayout {
+        let llm = ParallelPlan::new(1, 4, 2).unwrap();
+        let enc = ParallelPlan::new(2, 2, 2).unwrap();
+        ColocationLayout::new(llm, enc).unwrap()
+    }
+
+    #[test]
+    fn figure5_has_two_encoder_pipelines() {
+        let l = figure5();
+        assert_eq!(l.pipelines_per_llm_pipeline(), 2);
+        assert_eq!(l.lanes, 1);
+        assert_eq!(l.blocks, 2);
+    }
+
+    #[test]
+    fn figure5_stage_hosting() {
+        let l = figure5();
+        // Pipeline 0 occupies LLM stages 0..2, pipeline 1 stages 2..4.
+        assert_eq!(l.host_llm_stage(0, 0), 0);
+        assert_eq!(l.host_llm_stage(0, 1), 1);
+        assert_eq!(l.host_llm_stage(1, 0), 2);
+        assert_eq!(l.host_llm_stage(1, 1), 3);
+    }
+
+    #[test]
+    fn every_llm_stage_hosts_exactly_one_stage_per_lane() {
+        let llm = ParallelPlan::new(2, 8, 8).unwrap();
+        let enc = ParallelPlan::new(16, 2, 4).unwrap();
+        let l = ColocationLayout::new(llm, enc).unwrap();
+        assert_eq!(l.lanes, 2);
+        assert_eq!(l.blocks, 4);
+        assert_eq!(l.pipelines_per_llm_pipeline(), 8);
+        for stage in 0..8 {
+            let ps = l.pipelines_on_llm_stage(stage);
+            assert_eq!(ps.len(), l.lanes as usize, "stage {stage}");
+            for p in ps {
+                assert!(l.enc_stage_on(p, stage).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn m_matches_dp_ratio() {
+        // m = DP_enc / DP_llm (paper §4.1).
+        let llm = ParallelPlan::new(2, 8, 8).unwrap();
+        let enc = ParallelPlan::new(16, 2, 4).unwrap();
+        let l = ColocationLayout::new(llm, enc).unwrap();
+        assert_eq!(l.pipelines_per_llm_pipeline(), enc.dp / llm.dp);
+    }
+
+    #[test]
+    fn incompatible_plans_rejected() {
+        let llm = ParallelPlan::new(1, 4, 2).unwrap();
+        let bad_pp = ParallelPlan::new(1, 3, 2).unwrap(); // 3 ∤ 4, also wrong gpu count
+        assert!(ColocationLayout::new(llm, bad_pp).is_err());
+        let bad_gpus = ParallelPlan::new(1, 2, 2).unwrap(); // 4 GPUs vs 8
+        assert!(ColocationLayout::new(llm, bad_gpus).is_err());
+    }
+
+    #[test]
+    fn enc_stage_on_returns_none_outside_block() {
+        let l = figure5();
+        assert_eq!(l.enc_stage_on(0, 3), None);
+        assert_eq!(l.enc_stage_on(1, 0), None);
+        assert_eq!(l.enc_stage_on(1, 2), Some(0));
+    }
+}

@@ -1,0 +1,34 @@
+//! 3D-parallelism plans, enumeration, and encoder/LLM colocation layout.
+//!
+//! Implements the plan machinery of the Optimus model planner (§4.1): plan
+//! representation `(DP, PP, TP, V)`, enumeration of candidate encoder plans
+//! under the divisibility constraints `PP_enc | PP_llm` and `TP_enc | TP_llm`,
+//! the colocation tiling that gives every GPU both encoder and LLM model
+//! states (Fig. 5), and the enumeration of microbatch partitions across
+//! encoder pipelines.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_parallel::{ColocationLayout, ParallelPlan};
+//!
+//! // Figure 5: encoder (DP=2, PP=2, TP=2) over LLM (DP=1, PP=4, TP=2).
+//! let llm = ParallelPlan::new(1, 4, 2).unwrap();
+//! let enc = ParallelPlan::new(2, 2, 2).unwrap();
+//! let layout = ColocationLayout::new(llm, enc).unwrap();
+//! assert_eq!(layout.pipelines_per_llm_pipeline(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod error;
+pub mod layout;
+pub mod microbatch;
+pub mod plan;
+
+pub use enumerate::{divisors, enumerate_encoder_plans, enumerate_plans};
+pub use error::PlanError;
+pub use layout::ColocationLayout;
+pub use microbatch::{composition_count, Compositions};
+pub use plan::ParallelPlan;

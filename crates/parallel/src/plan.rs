@@ -1,0 +1,141 @@
+//! 3D-parallelism plans: (DP, PP, TP) plus virtual-pipeline chunking.
+
+use std::fmt;
+
+use crate::error::PlanError;
+
+/// One 3D parallelism plan.
+///
+/// `vpp` is the number of virtual pipeline chunks per stage used by the
+/// interleaved 1F1B schedule (Megatron's `V`); `vpp = 1` means the plain
+/// non-interleaved schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParallelPlan {
+    /// Data-parallel degree.
+    pub dp: u32,
+    /// Pipeline-parallel degree.
+    pub pp: u32,
+    /// Tensor-parallel degree.
+    pub tp: u32,
+    /// Virtual pipeline chunks per physical stage.
+    pub vpp: u32,
+}
+
+impl ParallelPlan {
+    /// Builds a plan, validating all degrees are ≥ 1.
+    pub fn new(dp: u32, pp: u32, tp: u32) -> Result<ParallelPlan, PlanError> {
+        ParallelPlan::with_vpp(dp, pp, tp, 1)
+    }
+
+    /// Builds an interleaved plan with `vpp` model chunks per stage.
+    pub fn with_vpp(dp: u32, pp: u32, tp: u32, vpp: u32) -> Result<ParallelPlan, PlanError> {
+        if dp == 0 || pp == 0 || tp == 0 || vpp == 0 {
+            return Err(PlanError::ZeroDegree);
+        }
+        Ok(ParallelPlan { dp, pp, tp, vpp })
+    }
+
+    /// GPUs the plan occupies.
+    pub fn num_gpus(&self) -> u32 {
+        self.dp * self.pp * self.tp
+    }
+
+    /// Virtual stages in the pipeline (`pp · vpp`).
+    pub fn virtual_stages(&self) -> u32 {
+        self.pp * self.vpp
+    }
+
+    /// Splits `layers` across the virtual stages as evenly as possible,
+    /// front-loading the remainder (Megatron assigns extra layers to earlier
+    /// stages). Returns layers per virtual stage, length `pp · vpp`.
+    pub fn layer_split(&self, layers: u32) -> Vec<u32> {
+        let stages = self.virtual_stages();
+        let base = layers / stages;
+        let extra = layers % stages;
+        (0..stages).map(|s| base + u32::from(s < extra)).collect()
+    }
+
+    /// Validates the plan against a cluster size and node width: the plan
+    /// must tile the GPUs exactly and TP groups must fit inside one node
+    /// (Megatron practice — TP traffic must stay on NVLink).
+    pub fn check(&self, num_gpus: u32, gpus_per_node: u32) -> Result<(), PlanError> {
+        if self.num_gpus() != num_gpus {
+            return Err(PlanError::GpuMismatch {
+                plan: self.num_gpus(),
+                cluster: num_gpus,
+            });
+        }
+        if self.tp > gpus_per_node || gpus_per_node % self.tp != 0 {
+            return Err(PlanError::TpSpansNodes {
+                tp: self.tp,
+                gpus_per_node,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ParallelPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.vpp > 1 {
+            write!(
+                f,
+                "(DP={}, PP={}, TP={}, V={})",
+                self.dp, self.pp, self.tp, self.vpp
+            )
+        } else {
+            write!(f, "(DP={}, PP={}, TP={})", self.dp, self.pp, self.tp)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_count_is_product() {
+        let p = ParallelPlan::new(48, 8, 8).unwrap();
+        assert_eq!(p.num_gpus(), 3072);
+    }
+
+    #[test]
+    fn zero_degree_rejected() {
+        assert!(matches!(
+            ParallelPlan::new(0, 1, 1),
+            Err(PlanError::ZeroDegree)
+        ));
+    }
+
+    #[test]
+    fn layer_split_front_loads_remainder() {
+        let p = ParallelPlan::with_vpp(1, 4, 1, 1).unwrap();
+        assert_eq!(p.layer_split(10), vec![3, 3, 2, 2]);
+        let q = ParallelPlan::with_vpp(1, 4, 1, 3).unwrap();
+        assert_eq!(q.layer_split(96).len(), 12);
+        assert_eq!(q.layer_split(96).iter().sum::<u32>(), 96);
+    }
+
+    #[test]
+    fn check_enforces_tiling_and_tp_width() {
+        let p = ParallelPlan::new(2, 4, 8).unwrap();
+        assert!(p.check(64, 8).is_ok());
+        assert!(matches!(
+            p.check(128, 8),
+            Err(PlanError::GpuMismatch { .. })
+        ));
+        let wide = ParallelPlan::new(1, 4, 16).unwrap();
+        assert!(matches!(
+            wide.check(64, 8),
+            Err(PlanError::TpSpansNodes { .. })
+        ));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let p = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        assert_eq!(p.to_string(), "(DP=8, PP=8, TP=8, V=12)");
+        let q = ParallelPlan::new(2, 4, 8).unwrap();
+        assert_eq!(q.to_string(), "(DP=2, PP=4, TP=8)");
+    }
+}

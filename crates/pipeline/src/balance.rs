@@ -1,0 +1,159 @@
+//! The Megatron-LM-balanced layer partitioner (Appendix B).
+//!
+//! A dynamic program assigns the concatenated MLLM layer list (encoder layers
+//! followed by LLM layers) to `V × PP` virtual stages, minimising the latency
+//! of the slowest stage:
+//!
+//! `F(l, m) = min_{j<l} max(F(j, m−1), Σ_{i=j+1..l} t_i)`
+//!
+//! This is the strawman baseline's partitioning strategy; it only applies to
+//! single-encoder (linear) MLLMs.
+
+use optimus_cluster::DurNs;
+
+use crate::error::PipelineError;
+
+/// Result of the balanced partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BalancedPartition {
+    /// Layers per virtual stage (sums to the total layer count).
+    pub layers_per_stage: Vec<u32>,
+    /// Latency of the slowest virtual stage.
+    pub bottleneck: DurNs,
+}
+
+/// Partitions `layer_times` into `stages` contiguous groups minimising the
+/// maximum group sum (Appendix B dynamic program).
+pub fn balance_layers(
+    layer_times: &[DurNs],
+    stages: u32,
+) -> Result<BalancedPartition, PipelineError> {
+    let n = layer_times.len();
+    let m = stages as usize;
+    if m == 0 {
+        return Err(PipelineError::BadSpec {
+            reason: "stage count must be >= 1".into(),
+        });
+    }
+    if n < m {
+        return Err(PipelineError::BadSpec {
+            reason: format!("cannot split {n} layers into {m} stages"),
+        });
+    }
+
+    // Prefix sums in ns.
+    let mut prefix = vec![0u64; n + 1];
+    for (i, t) in layer_times.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + t.0;
+    }
+    let seg = |a: usize, b: usize| prefix[b] - prefix[a]; // layers a..b
+
+    const INF: u64 = u64::MAX;
+    // f[k][l] = min over partitions of first l layers into k stages of the
+    // max stage time; choice[k][l] = split point.
+    let mut f = vec![vec![INF; n + 1]; m + 1];
+    let mut choice = vec![vec![0usize; n + 1]; m + 1];
+    for l in 1..=n {
+        f[1][l] = seg(0, l);
+    }
+    for k in 2..=m {
+        for l in k..=n {
+            // Monotone structure: as j grows, F(j, k−1) grows and seg(j, l)
+            // shrinks. A linear scan suffices at these sizes (≤ a few
+            // hundred layers).
+            let mut best = INF;
+            let mut best_j = k - 1;
+            for j in (k - 1)..l {
+                let cand = f[k - 1][j].max(seg(j, l));
+                if cand < best {
+                    best = cand;
+                    best_j = j;
+                }
+            }
+            f[k][l] = best;
+            choice[k][l] = best_j;
+        }
+    }
+
+    // Recover the partition.
+    let mut bounds = vec![n];
+    let mut l = n;
+    for k in (2..=m).rev() {
+        l = choice[k][l];
+        bounds.push(l);
+    }
+    bounds.push(0);
+    bounds.reverse();
+    let layers_per_stage: Vec<u32> = bounds.windows(2).map(|w| (w[1] - w[0]) as u32).collect();
+
+    Ok(BalancedPartition {
+        layers_per_stage,
+        bottleneck: DurNs(f[m][n]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn times(v: &[u64]) -> Vec<DurNs> {
+        v.iter().map(|&x| DurNs(x)).collect()
+    }
+
+    #[test]
+    fn uniform_layers_split_evenly() {
+        let p = balance_layers(&times(&[10; 12]), 4).unwrap();
+        assert_eq!(p.layers_per_stage, vec![3, 3, 3, 3]);
+        assert_eq!(p.bottleneck, DurNs(30));
+    }
+
+    #[test]
+    fn heavy_head_gets_fewer_layers() {
+        // Encoder-like cheap layers followed by expensive LLM layers: the
+        // balanced split gives stages with more cheap layers.
+        let mut t = vec![1u64; 8];
+        t.extend([10u64; 8]);
+        let p = balance_layers(&times(&t), 4).unwrap();
+        assert_eq!(p.layers_per_stage.iter().sum::<u32>(), 16);
+        // The first stage must hold all (or most) cheap layers plus maybe an
+        // expensive one; the bottleneck must beat the naive 4-4-4-4 split.
+        let naive_bottleneck = 10 * 4; // a stage of 4 expensive layers
+        assert!(p.bottleneck.0 < naive_bottleneck);
+    }
+
+    #[test]
+    fn bottleneck_is_lower_bound_respected() {
+        // Bottleneck can never be below max(single layer, total/stages).
+        let t = times(&[7, 3, 9, 4, 6, 2, 8, 5]);
+        let total: u64 = t.iter().map(|d| d.0).sum();
+        let p = balance_layers(&t, 3).unwrap();
+        assert!(p.bottleneck.0 >= total.div_ceil(3));
+        assert!(p.bottleneck.0 >= 9);
+        assert_eq!(p.layers_per_stage.iter().sum::<u32>(), 8);
+        assert!(p.layers_per_stage.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn single_stage_takes_everything() {
+        let p = balance_layers(&times(&[5, 5, 5]), 1).unwrap();
+        assert_eq!(p.layers_per_stage, vec![3]);
+        assert_eq!(p.bottleneck, DurNs(15));
+    }
+
+    #[test]
+    fn more_stages_never_worse() {
+        let t = times(&[7, 3, 9, 4, 6, 2, 8, 5, 1, 12, 4, 4]);
+        let mut prev = u64::MAX;
+        for m in 1..=6 {
+            let p = balance_layers(&t, m).unwrap();
+            assert!(p.bottleneck.0 <= prev, "stages {m}");
+            prev = p.bottleneck.0;
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(balance_layers(&times(&[1, 2]), 3).is_err());
+        assert!(balance_layers(&times(&[1]), 0).is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! Encoder–LLM dependency points (§4.3, `GetEncLLMDep`).
+//!
+//! For each microbatch `i` the LLM pipeline defines a forward dependency
+//! point `F_i` (when the first pipeline stage *consumes* the encoder's
+//! activations `A_i`) and a backward dependency point `B_i` (when the first
+//! stage finishes producing the gradients `G_i` the encoder needs).
+//!
+//! Fig. 12 observes that later microbatches' forward dependency points can be
+//! deferred without affecting pipeline latency by adjusting warmup counts. We
+//! implement that deferral in its general form: `F_i` is the *latest start
+//! time* of the first kernel of the rank-0 chunk-0 forward of microbatch `i`
+//! that leaves the makespan unchanged (critical-path slack analysis over the
+//! lowered graph), which subsumes the warmup-count adjustment.
+
+use optimus_cluster::TimeNs;
+use optimus_sim::{latest_start_times, SimResult};
+
+use crate::error::PipelineError;
+use crate::lower::Lowered;
+use crate::schedule::Dir;
+
+/// Forward and backward dependency points per microbatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependencyPoints {
+    /// `F_i`: the encoder must finish the forward of microbatch `i` (and its
+    /// activations must have been transferred) by this instant.
+    pub forward: Vec<TimeNs>,
+    /// `B_i`: the encoder may begin the backward of microbatch `i` no
+    /// earlier than this instant.
+    pub backward: Vec<TimeNs>,
+}
+
+impl DependencyPoints {
+    /// Number of microbatches.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+}
+
+/// Extracts dependency points from a lowered, simulated LLM pipeline.
+///
+/// With `adjusted = false`, `F_i` is the *actual* start of the rank-0 chunk-0
+/// forward (the default interleaved-1F1B behaviour, Fig. 12 top). With
+/// `adjusted = true`, `F_i` is the latest start that preserves the makespan
+/// (Fig. 12 bottom).
+pub fn dependency_points(
+    lowered: &Lowered,
+    result: &SimResult,
+    n_microbatches: u32,
+    adjusted: bool,
+) -> Result<DependencyPoints, PipelineError> {
+    let latest = if adjusted {
+        Some(latest_start_times(&lowered.graph, result))
+    } else {
+        None
+    };
+    let mut forward = Vec::with_capacity(n_microbatches as usize);
+    let mut backward = Vec::with_capacity(n_microbatches as usize);
+    for mb in 0..n_microbatches {
+        let f = lowered
+            .first
+            .get(&(0, 0, mb, Dir::Fwd))
+            .ok_or_else(|| PipelineError::BadSpec {
+                reason: format!("missing rank-0 forward for microbatch {mb}"),
+            })?;
+        let b = lowered
+            .last
+            .get(&(0, 0, mb, Dir::Bwd))
+            .ok_or_else(|| PipelineError::BadSpec {
+                reason: format!("missing rank-0 backward for microbatch {mb}"),
+            })?;
+        let f_point = match &latest {
+            Some(ls) => ls[f.index()],
+            None => result.span(*f).start,
+        };
+        forward.push(f_point);
+        backward.push(result.span(*b).end);
+    }
+    Ok(DependencyPoints { forward, backward })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::{simulate_pipeline, PipelineSpec};
+    use crate::schedule::interleaved_1f1b;
+    use crate::stage::{StageSpec, TimedKernel};
+    use optimus_cluster::DurNs;
+
+    fn uniform_spec(pp: u32, vpp: u32, n: u32, tf: u64, tb: u64) -> PipelineSpec {
+        let stage = StageSpec {
+            fwd: vec![TimedKernel {
+                label: "f",
+                dur: DurNs(tf),
+                comm: false,
+            }],
+            bwd: vec![TimedKernel {
+                label: "b",
+                dur: DurNs(tb),
+                comm: false,
+            }],
+            ..StageSpec::default()
+        };
+        PipelineSpec {
+            pp,
+            vpp,
+            n_microbatches: n,
+            stages: vec![stage; (pp * vpp) as usize],
+            dp_allgather: DurNs::ZERO,
+            dp_reducescatter: DurNs::ZERO,
+            p2p: DurNs::ZERO,
+        }
+    }
+
+    /// The Fig. 12 configuration: pp=4, vpp=2, 8 microbatches.
+    fn fig12() -> (crate::lower::Lowered, optimus_sim::SimResult) {
+        let spec = uniform_spec(4, 2, 8, 100, 200);
+        let sched = interleaved_1f1b(4, 2, 8, None).unwrap();
+        simulate_pipeline(&spec, &sched, &[]).unwrap()
+    }
+
+    #[test]
+    fn forward_points_are_nondecreasing() {
+        let (l, r) = fig12();
+        for adjusted in [false, true] {
+            let dp = dependency_points(&l, &r, 8, adjusted).unwrap();
+            assert_eq!(dp.len(), 8);
+            for w in dp.forward.windows(2) {
+                assert!(w[0] <= w[1], "adjusted={adjusted}: {:?}", dp.forward);
+            }
+        }
+    }
+
+    #[test]
+    fn adjustment_defers_later_forward_points() {
+        // Fig. 12: the last microbatches' forward dependency points can be
+        // deferred without latency impact; earlier ones are on the critical
+        // path and cannot move.
+        let (l, r) = fig12();
+        let base = dependency_points(&l, &r, 8, false).unwrap();
+        let adj = dependency_points(&l, &r, 8, true).unwrap();
+        // No adjusted point is earlier than the default.
+        for i in 0..8 {
+            assert!(adj.forward[i] >= base.forward[i], "mb {i}");
+        }
+        // At least one later microbatch is strictly deferred.
+        let deferred = (4..8).filter(|&i| adj.forward[i] > base.forward[i]).count();
+        assert!(
+            deferred > 0,
+            "no deferral achieved: {:?} vs {:?}",
+            adj.forward,
+            base.forward
+        );
+        // Backward points identical (no adjustment applies).
+        assert_eq!(base.backward, adj.backward);
+    }
+
+    #[test]
+    fn backward_points_follow_forward_points() {
+        let (l, r) = fig12();
+        let dp = dependency_points(&l, &r, 8, false).unwrap();
+        for i in 0..8 {
+            assert!(dp.backward[i] > dp.forward[i], "mb {i}");
+        }
+    }
+
+    #[test]
+    fn missing_microbatch_is_an_error() {
+        let (l, r) = fig12();
+        assert!(dependency_points(&l, &r, 9, false).is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Pipeline-crate errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from schedule generation and lowering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// A schedule violated a structural invariant.
+    BadSchedule {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A pipeline spec was inconsistent (stage counts, empty stages...).
+    BadSpec {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The lowered graph failed to simulate.
+    Simulation(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::BadSchedule { reason } => write!(f, "bad schedule: {reason}"),
+            PipelineError::BadSpec { reason } => write!(f, "bad pipeline spec: {reason}"),
+            PipelineError::Simulation(s) => write!(f, "simulation failed: {s}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}

@@ -1,0 +1,41 @@
+//! Pipeline schedules and their lowering to simulator task graphs.
+//!
+//! Implements the scheduling substrate the paper builds on: Megatron-LM's
+//! 1F1B and interleaved-1F1B schedules, GPipe (for the Alpa-like baseline),
+//! the Appendix B balanced layer partitioner, lowering of schedules to
+//! kernel-level task graphs (with TP collectives, pipeline P2P and DP
+//! collectives), and extraction of the encoder–LLM dependency points
+//! `F_i`/`B_i` including the Fig. 12 warmup adjustment.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_pipeline::schedule::{interleaved_1f1b, one_f_one_b};
+//!
+//! let s = one_f_one_b(4, 8).unwrap();
+//! assert_eq!(s.warmup, vec![3, 2, 1, 0]);
+//! let i = interleaved_1f1b(4, 2, 8, None).unwrap();
+//! assert_eq!(i.warmup, vec![10, 8, 6, 4]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod balance;
+pub mod bidir;
+pub mod deps;
+pub mod error;
+pub mod lower;
+pub mod schedule;
+pub mod stage;
+
+pub use balance::{balance_layers, BalancedPartition};
+pub use bidir::{simulate_bidirectional, BidirSpec, Flow};
+pub use deps::{dependency_points, DependencyPoints};
+pub use error::PipelineError;
+pub use lower::{
+    lower, simulate_pipeline, InsertKernel, InsertStream, Lowered, OpRef, PipelineSpec,
+};
+pub use schedule::{
+    gpipe, interleaved_1f1b, one_f_one_b, zero_bubble_h1, Dir, PipelineOp, PipelineSchedule,
+};
+pub use stage::{StageSpec, TimedKernel};

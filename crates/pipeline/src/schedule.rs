@@ -1,0 +1,457 @@
+//! Pipeline schedules: per-rank operation orders.
+//!
+//! A schedule is, for every pipeline rank, the ordered list of forward and
+//! backward microbatch executions it performs. Generators implement
+//! Megatron-LM's 1F1B, Megatron's interleaved 1F1B (the paper's baseline
+//! schedule, §4.3 Fig. 12) and GPipe (used by the Alpa-like baseline).
+
+use crate::error::PipelineError;
+
+/// Direction of one pipeline operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// Forward pass.
+    Fwd,
+    /// Backward pass (under zero-bubble schedules: input-gradient half).
+    Bwd,
+    /// Weight-gradient half of the backward (zero-bubble schedules only) —
+    /// off the critical path, used as pipeline filler.
+    Wgrad,
+}
+
+/// One operation in a rank's program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PipelineOp {
+    /// Direction.
+    pub dir: Dir,
+    /// Model chunk (virtual stage index on this rank); 0 for
+    /// non-interleaved schedules.
+    pub chunk: u32,
+    /// Microbatch index, 0-based.
+    pub microbatch: u32,
+}
+
+impl PipelineOp {
+    /// Forward op.
+    pub fn fwd(chunk: u32, microbatch: u32) -> PipelineOp {
+        PipelineOp {
+            dir: Dir::Fwd,
+            chunk,
+            microbatch,
+        }
+    }
+
+    /// Backward op.
+    pub fn bwd(chunk: u32, microbatch: u32) -> PipelineOp {
+        PipelineOp {
+            dir: Dir::Bwd,
+            chunk,
+            microbatch,
+        }
+    }
+
+    /// Weight-gradient op (zero-bubble schedules).
+    pub fn wgrad(chunk: u32, microbatch: u32) -> PipelineOp {
+        PipelineOp {
+            dir: Dir::Wgrad,
+            chunk,
+            microbatch,
+        }
+    }
+}
+
+/// A complete pipeline schedule: one op list per rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineSchedule {
+    /// Pipeline-parallel size.
+    pub pp: u32,
+    /// Model chunks per rank.
+    pub vpp: u32,
+    /// Microbatches per step.
+    pub n_microbatches: u32,
+    /// Per-rank program order.
+    pub ops: Vec<Vec<PipelineOp>>,
+    /// Number of warmup (forward-only) ops per rank, used by the Fig. 12
+    /// dependency-point adjustment.
+    pub warmup: Vec<u32>,
+}
+
+impl PipelineSchedule {
+    /// Validates structural invariants: every rank executes every
+    /// (chunk, microbatch) exactly once in each direction, and never runs a
+    /// backward before the matching forward.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        for (rank, ops) in self.ops.iter().enumerate() {
+            let expect = (self.vpp * self.n_microbatches) as usize;
+            let fwd = ops.iter().filter(|o| o.dir == Dir::Fwd).count();
+            let bwd = ops.iter().filter(|o| o.dir == Dir::Bwd).count();
+            let wgrad = ops.iter().filter(|o| o.dir == Dir::Wgrad).count();
+            if fwd != expect || bwd != expect {
+                return Err(PipelineError::BadSchedule {
+                    reason: format!(
+                        "rank {rank}: {fwd} fwd / {bwd} bwd ops, expected {expect} each"
+                    ),
+                });
+            }
+            if wgrad != 0 && wgrad != expect {
+                return Err(PipelineError::BadSchedule {
+                    reason: format!("rank {rank}: {wgrad} wgrad ops, expected 0 or {expect}"),
+                });
+            }
+            let mut seen_fwd = std::collections::HashSet::new();
+            let mut seen_bwd = std::collections::HashSet::new();
+            for op in ops {
+                match op.dir {
+                    Dir::Fwd => {
+                        if !seen_fwd.insert((op.chunk, op.microbatch)) {
+                            return Err(PipelineError::BadSchedule {
+                                reason: format!("rank {rank}: duplicate forward {op:?}"),
+                            });
+                        }
+                    }
+                    Dir::Bwd => {
+                        if !seen_fwd.contains(&(op.chunk, op.microbatch)) {
+                            return Err(PipelineError::BadSchedule {
+                                reason: format!("rank {rank}: backward before forward {op:?}"),
+                            });
+                        }
+                        seen_bwd.insert((op.chunk, op.microbatch));
+                    }
+                    Dir::Wgrad => {
+                        if !seen_bwd.contains(&(op.chunk, op.microbatch)) {
+                            return Err(PipelineError::BadSchedule {
+                                reason: format!("rank {rank}: wgrad before backward {op:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Megatron-LM 1F1B schedule (non-interleaved, `vpp = 1`).
+///
+/// Rank `r` of `pp` warms up with `min(pp − r − 1, n)` forwards, then
+/// alternates one-forward-one-backward, then drains backwards.
+pub fn one_f_one_b(pp: u32, n_microbatches: u32) -> Result<PipelineSchedule, PipelineError> {
+    if pp == 0 || n_microbatches == 0 {
+        return Err(PipelineError::BadSchedule {
+            reason: "pp and n_microbatches must be >= 1".into(),
+        });
+    }
+    let n = n_microbatches;
+    let mut ops = Vec::with_capacity(pp as usize);
+    let mut warmups = Vec::with_capacity(pp as usize);
+    for r in 0..pp {
+        let warmup = (pp - r - 1).min(n);
+        let mut v = Vec::with_capacity(2 * n as usize);
+        for mb in 0..warmup {
+            v.push(PipelineOp::fwd(0, mb));
+        }
+        let steady = n - warmup;
+        for k in 0..steady {
+            v.push(PipelineOp::fwd(0, warmup + k));
+            v.push(PipelineOp::bwd(0, k));
+        }
+        for mb in steady..n {
+            v.push(PipelineOp::bwd(0, mb));
+        }
+        warmups.push(warmup);
+        ops.push(v);
+    }
+    let s = PipelineSchedule {
+        pp,
+        vpp: 1,
+        n_microbatches: n,
+        ops,
+        warmup: warmups,
+    };
+    s.validate()?;
+    Ok(s)
+}
+
+/// Megatron-LM interleaved 1F1B schedule (`vpp ≥ 1` model chunks per rank).
+///
+/// Follows Megatron's `get_num_warmup_microbatches` and chunk-indexing
+/// formulas; requires `n_microbatches` to be a multiple of `pp` (Megatron's
+/// own constraint for the interleaved schedule).
+///
+/// `warmup_reduction[r]` (optional) reduces rank `r`'s warmup count — the
+/// Fig. 12 adjustment that defers forward dependency points.
+pub fn interleaved_1f1b(
+    pp: u32,
+    vpp: u32,
+    n_microbatches: u32,
+    warmup_reduction: Option<&[u32]>,
+) -> Result<PipelineSchedule, PipelineError> {
+    if pp == 0 || vpp == 0 || n_microbatches == 0 {
+        return Err(PipelineError::BadSchedule {
+            reason: "degrees must be >= 1".into(),
+        });
+    }
+    if vpp == 1 && warmup_reduction.is_none() {
+        return one_f_one_b(pp, n_microbatches);
+    }
+    if n_microbatches % pp != 0 {
+        return Err(PipelineError::BadSchedule {
+            reason: format!(
+                "interleaved schedule needs pp ({pp}) | n_microbatches ({n_microbatches})"
+            ),
+        });
+    }
+    let total = (vpp * n_microbatches) as usize;
+    let group = (pp * vpp) as usize;
+
+    // Virtual-microbatch k → (chunk, microbatch), Megatron indexing.
+    let fwd_chunk = |k: usize| ((k % group) / pp as usize) as u32;
+    let bwd_chunk = |k: usize| vpp - 1 - ((k % group) / pp as usize) as u32;
+    let micro = |k: usize| {
+        let in_group = k % group;
+        let group_id = k / group;
+        (group_id * pp as usize + in_group % pp as usize) as u32
+    };
+
+    let mut ops = Vec::with_capacity(pp as usize);
+    let mut warmups = Vec::with_capacity(pp as usize);
+    for r in 0..pp {
+        let mut warmup = ((pp - r - 1) * 2 + (vpp - 1) * pp).min(total as u32);
+        if let Some(red) = warmup_reduction {
+            let red_r = red.get(r as usize).copied().unwrap_or(0);
+            warmup = warmup.saturating_sub(red_r).max(1);
+        }
+        let warmup = warmup as usize;
+        let mut v = Vec::with_capacity(2 * total);
+        for k in 0..warmup.min(total) {
+            v.push(PipelineOp::fwd(fwd_chunk(k), micro(k)));
+        }
+        let steady = total - warmup.min(total);
+        for j in 0..steady {
+            v.push(PipelineOp::fwd(fwd_chunk(warmup + j), micro(warmup + j)));
+            v.push(PipelineOp::bwd(bwd_chunk(j), micro(j)));
+        }
+        for j in steady..total {
+            v.push(PipelineOp::bwd(bwd_chunk(j), micro(j)));
+        }
+        warmups.push(warmup.min(total) as u32);
+        ops.push(v);
+    }
+    let s = PipelineSchedule {
+        pp,
+        vpp,
+        n_microbatches,
+        ops,
+        warmup: warmups,
+    };
+    s.validate()?;
+    Ok(s)
+}
+
+/// A zero-bubble-inspired schedule (ZB-H1 family, Qi et al.): the backward
+/// is split into an input-gradient half `B` (on the critical path) and a
+/// weight-gradient half `W` (a filler with no cross-rank dependencies).
+/// Warmup and steady phases follow 1F1B over `F`/`B`; during the cooldown,
+/// each remaining `B` is chased with available `W`s so that former cooldown
+/// bubbles execute weight gradients instead of idling.
+///
+/// This is a faithful *family member*, not a byte-exact reimplementation of
+/// ZB-H1's ILP-derived schedules; it preserves the mechanism (split
+/// backward, W as filler) and the memory profile (W deferred).
+pub fn zero_bubble_h1(pp: u32, n_microbatches: u32) -> Result<PipelineSchedule, PipelineError> {
+    if pp == 0 || n_microbatches == 0 {
+        return Err(PipelineError::BadSchedule {
+            reason: "pp and n_microbatches must be >= 1".into(),
+        });
+    }
+    let n = n_microbatches;
+    let mut ops = Vec::with_capacity(pp as usize);
+    let mut warmups = Vec::with_capacity(pp as usize);
+    for r in 0..pp {
+        let warmup = (pp - r - 1).min(n);
+        let mut v = Vec::with_capacity(3 * n as usize);
+        let mut w_pending: Vec<u32> = Vec::new();
+        for mb in 0..warmup {
+            v.push(PipelineOp::fwd(0, mb));
+        }
+        let steady = n - warmup;
+        for k in 0..steady {
+            v.push(PipelineOp::fwd(0, warmup + k));
+            v.push(PipelineOp::bwd(0, k));
+            w_pending.push(k);
+        }
+        for mb in steady..n {
+            v.push(PipelineOp::bwd(0, mb));
+            w_pending.push(mb);
+            // Chase every cooldown B with one queued W: the W executes while
+            // the next B's upstream dependency is still in flight.
+            if let Some(w) = w_pending.first().copied() {
+                w_pending.remove(0);
+                v.push(PipelineOp::wgrad(0, w));
+            }
+        }
+        for w in w_pending {
+            v.push(PipelineOp::wgrad(0, w));
+        }
+        warmups.push(warmup);
+        ops.push(v);
+    }
+    let s = PipelineSchedule {
+        pp,
+        vpp: 1,
+        n_microbatches: n,
+        ops,
+        warmup: warmups,
+    };
+    s.validate()?;
+    Ok(s)
+}
+
+/// GPipe schedule: all forwards, then all backwards (used by the Alpa-like
+/// baseline, which does not implement 1F1B-interleaving).
+pub fn gpipe(pp: u32, n_microbatches: u32) -> Result<PipelineSchedule, PipelineError> {
+    if pp == 0 || n_microbatches == 0 {
+        return Err(PipelineError::BadSchedule {
+            reason: "pp and n_microbatches must be >= 1".into(),
+        });
+    }
+    let n = n_microbatches;
+    let mut ops = Vec::with_capacity(pp as usize);
+    for _ in 0..pp {
+        let mut v = Vec::with_capacity(2 * n as usize);
+        for mb in 0..n {
+            v.push(PipelineOp::fwd(0, mb));
+        }
+        for mb in (0..n).rev() {
+            v.push(PipelineOp::bwd(0, mb));
+        }
+        ops.push(v);
+    }
+    let s = PipelineSchedule {
+        pp,
+        vpp: 1,
+        n_microbatches: n,
+        ops,
+        warmup: vec![n; pp as usize],
+    };
+    s.validate()?;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_f_one_b_structure() {
+        let s = one_f_one_b(4, 8).unwrap();
+        assert_eq!(s.warmup, vec![3, 2, 1, 0]);
+        // Rank 3 (last stage) strictly alternates F,B.
+        let r3 = &s.ops[3];
+        assert_eq!(r3[0], PipelineOp::fwd(0, 0));
+        assert_eq!(r3[1], PipelineOp::bwd(0, 0));
+        assert_eq!(r3.len(), 16);
+    }
+
+    #[test]
+    fn one_f_one_b_with_few_microbatches() {
+        // Fewer microbatches than stages: warmup caps at n.
+        let s = one_f_one_b(8, 2).unwrap();
+        assert_eq!(s.warmup[0], 2);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn interleaved_warmup_formula() {
+        // pp=4, vpp=2, n=8 (the Fig. 12 configuration):
+        // rank 0 warmup = 3*2 + 1*4 = 10.
+        let s = interleaved_1f1b(4, 2, 8, None).unwrap();
+        assert_eq!(s.warmup, vec![10, 8, 6, 4]);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn interleaved_first_ops_cover_chunks() {
+        let s = interleaved_1f1b(4, 2, 8, None).unwrap();
+        // Rank 0 warmup order: mb 0..3 chunk 0, mb 0..3 chunk 1, mb 4,5 chunk 0.
+        let r0: Vec<PipelineOp> = s.ops[0][..10].to_vec();
+        assert_eq!(r0[0], PipelineOp::fwd(0, 0));
+        assert_eq!(r0[3], PipelineOp::fwd(0, 3));
+        assert_eq!(r0[4], PipelineOp::fwd(1, 0));
+        assert_eq!(r0[7], PipelineOp::fwd(1, 3));
+        assert_eq!(r0[8], PipelineOp::fwd(0, 4));
+        assert_eq!(r0[9], PipelineOp::fwd(0, 5));
+    }
+
+    #[test]
+    fn interleaved_requires_divisibility() {
+        assert!(interleaved_1f1b(4, 2, 6, None).is_err());
+    }
+
+    #[test]
+    fn warmup_reduction_defers_forwards() {
+        let base = interleaved_1f1b(4, 2, 8, None).unwrap();
+        let red = interleaved_1f1b(4, 2, 8, Some(&[4, 0, 0, 0])).unwrap();
+        assert_eq!(red.warmup[0], 6);
+        assert_eq!(base.warmup[0], 10);
+        red.validate().unwrap();
+    }
+
+    #[test]
+    fn gpipe_all_forwards_first() {
+        let s = gpipe(4, 6).unwrap();
+        for ops in &s.ops {
+            let first_bwd = ops.iter().position(|o| o.dir == Dir::Bwd).unwrap();
+            assert!(ops[..first_bwd].iter().all(|o| o.dir == Dir::Fwd));
+            assert_eq!(first_bwd, 6);
+        }
+    }
+
+    #[test]
+    fn zero_bubble_structure() {
+        let s = zero_bubble_h1(4, 8).unwrap();
+        s.validate().unwrap();
+        for ops in &s.ops {
+            assert_eq!(ops.iter().filter(|o| o.dir == Dir::Wgrad).count(), 8);
+            // Every W comes after its own B.
+            let mut seen_b = std::collections::HashSet::new();
+            for op in ops {
+                match op.dir {
+                    Dir::Bwd => {
+                        seen_b.insert(op.microbatch);
+                    }
+                    Dir::Wgrad => assert!(seen_b.contains(&op.microbatch), "{op:?}"),
+                    Dir::Fwd => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_catches_wgrad_before_backward() {
+        let s = PipelineSchedule {
+            pp: 1,
+            vpp: 1,
+            n_microbatches: 1,
+            ops: vec![vec![
+                PipelineOp::fwd(0, 0),
+                PipelineOp::wgrad(0, 0),
+                PipelineOp::bwd(0, 0),
+            ]],
+            warmup: vec![0],
+        };
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_backward_before_forward() {
+        let s = PipelineSchedule {
+            pp: 1,
+            vpp: 1,
+            n_microbatches: 1,
+            ops: vec![vec![PipelineOp::bwd(0, 0), PipelineOp::fwd(0, 0)]],
+            warmup: vec![0],
+        };
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-validation of simulated pipeline makespans against the closed-form
+//! bubble formulas from the Megatron-LM paper (Narayanan et al.):
+//!
+//! * 1F1B / GPipe, uniform stages:  T = (n + pp − 1) · (t_f + t_b)
+//! * interleaved 1F1B, V chunks:    T = n · (t_f + t_b) + (pp − 1) · (t_f + t_b) / V
+//!
+//! where t_f/t_b are the *per-rank* forward/backward times (split evenly
+//! across the V chunks in the interleaved case).
+
+use optimus_cluster::DurNs;
+use optimus_pipeline::{
+    gpipe, interleaved_1f1b, one_f_one_b, simulate_pipeline, PipelineSpec, StageSpec, TimedKernel,
+};
+use proptest::prelude::*;
+
+fn uniform_spec(pp: u32, vpp: u32, n: u32, tf_chunk: u64, tb_chunk: u64) -> PipelineSpec {
+    let stage = StageSpec {
+        fwd: vec![TimedKernel {
+            label: "f",
+            dur: DurNs(tf_chunk),
+            comm: false,
+        }],
+        bwd: vec![TimedKernel {
+            label: "b",
+            dur: DurNs(tb_chunk),
+            comm: false,
+        }],
+        ..StageSpec::default()
+    };
+    PipelineSpec {
+        pp,
+        vpp,
+        n_microbatches: n,
+        stages: vec![stage; (pp * vpp) as usize],
+        dp_allgather: DurNs::ZERO,
+        dp_reducescatter: DurNs::ZERO,
+        p2p: DurNs::ZERO,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn one_f_one_b_closed_form(pp in 1u32..7, k in 1u32..5, tf in 1u64..500, tb in 1u64..500) {
+        let n = pp * k;
+        let spec = uniform_spec(pp, 1, n, tf, tb);
+        let sched = one_f_one_b(pp, n).unwrap();
+        let (_l, r) = simulate_pipeline(&spec, &sched, &[]).unwrap();
+        prop_assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
+    }
+
+    #[test]
+    fn gpipe_closed_form(pp in 1u32..7, n in 1u32..12, tf in 1u64..500, tb in 1u64..500) {
+        let spec = uniform_spec(pp, 1, n, tf, tb);
+        let sched = gpipe(pp, n).unwrap();
+        let (_l, r) = simulate_pipeline(&spec, &sched, &[]).unwrap();
+        prop_assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
+    }
+
+    #[test]
+    fn interleaved_closed_form(pp in 2u32..6, vpp in 2u32..4, k in 1u32..4, unit in 1u64..200) {
+        // Per-chunk times chosen so per-rank totals divide evenly by vpp.
+        let n = pp * k;
+        let (tf_chunk, tb_chunk) = (unit, 2 * unit);
+        let spec = uniform_spec(pp, vpp, n, tf_chunk, tb_chunk);
+        let sched = interleaved_1f1b(pp, vpp, n, None).unwrap();
+        let (_l, r) = simulate_pipeline(&spec, &sched, &[]).unwrap();
+        // Per-rank totals: t_f = vpp·tf_chunk, t_b = vpp·tb_chunk.
+        let tf = u64::from(vpp) * tf_chunk;
+        let tb = u64::from(vpp) * tb_chunk;
+        let expect = u64::from(n) * (tf + tb) + u64::from(pp - 1) * (tf + tb) / u64::from(vpp);
+        prop_assert_eq!(
+            r.makespan().0, expect,
+            "pp={} vpp={} n={} unit={}", pp, vpp, n, unit
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! The discrete-event execution engine.
+//!
+//! Executes a [`TaskGraph`] under CUDA-stream semantics: each
+//! `(device, stream)` pair is a FIFO resource; its head task starts as soon
+//! as the resource is free *and* every dependency has completed. The engine
+//! is event-driven and deterministic: ties are broken by resource index, so
+//! identical graphs always produce identical timelines.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use optimus_cluster::{DurNs, TimeNs};
+
+use crate::error::SimError;
+use crate::task::{Stream, TaskGraph, TaskId};
+
+/// Execution record of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Start instant.
+    pub start: TimeNs,
+    /// End instant.
+    pub end: TimeNs,
+}
+
+impl TaskSpan {
+    /// Duration of the span.
+    pub fn duration(&self) -> DurNs {
+        self.end.since(self.start)
+    }
+}
+
+/// Result of simulating a task graph.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    spans: Vec<TaskSpan>,
+    makespan: TimeNs,
+}
+
+impl SimResult {
+    /// Per-task execution spans, indexed by [`TaskId`].
+    pub fn spans(&self) -> &[TaskSpan] {
+        &self.spans
+    }
+
+    /// Execution span of one task.
+    pub fn span(&self, id: TaskId) -> TaskSpan {
+        self.spans[id.index()]
+    }
+
+    /// End-to-end makespan (training-step time).
+    pub fn makespan(&self) -> TimeNs {
+        self.makespan
+    }
+
+    /// Spans of all tasks on one `(device, stream)` resource, sorted by
+    /// start time.
+    pub fn stream_spans(&self, graph: &TaskGraph, device: u32, stream: Stream) -> Vec<TaskSpan> {
+        let mut v: Vec<TaskSpan> = graph
+            .tasks()
+            .iter()
+            .filter(|t| t.device == device && t.stream == stream)
+            .map(|t| self.spans[t.id.index()])
+            .collect();
+        v.sort_by_key(|s| (s.start, s.end));
+        v
+    }
+
+    /// Total busy time of one resource.
+    pub fn busy_time(&self, graph: &TaskGraph, device: u32, stream: Stream) -> DurNs {
+        self.stream_spans(graph, device, stream)
+            .iter()
+            .map(|s| s.duration())
+            .sum()
+    }
+}
+
+fn resource_index(device: u32, stream: Stream) -> usize {
+    device as usize * Stream::COUNT + stream.index()
+}
+
+struct EngineState<'g> {
+    graph: &'g TaskGraph,
+    queues: Vec<Vec<TaskId>>,
+    cursor: Vec<usize>,
+    free_at: Vec<TimeNs>,
+    running: Vec<bool>,
+    done: Vec<bool>,
+    spans: Vec<TaskSpan>,
+    waiters: HashMap<TaskId, Vec<usize>>,
+    events: BinaryHeap<Reverse<(TimeNs, usize, TaskId)>>,
+}
+
+impl<'g> EngineState<'g> {
+    fn new(graph: &'g TaskGraph) -> EngineState<'g> {
+        let n_res = graph.num_devices() as usize * Stream::COUNT;
+        let mut queues: Vec<Vec<TaskId>> = vec![Vec::new(); n_res];
+        for t in graph.tasks() {
+            queues[resource_index(t.device, t.stream)].push(t.id);
+        }
+        EngineState {
+            graph,
+            queues,
+            cursor: vec![0; n_res],
+            free_at: vec![TimeNs::ZERO; n_res],
+            running: vec![false; n_res],
+            done: vec![false; graph.len()],
+            spans: vec![
+                TaskSpan {
+                    task: TaskId(0),
+                    start: TimeNs::ZERO,
+                    end: TimeNs::ZERO
+                };
+                graph.len()
+            ],
+            waiters: HashMap::new(),
+            events: BinaryHeap::new(),
+        }
+    }
+
+    /// Starts the head task of resource `r` if the resource is free and all
+    /// dependencies are met; otherwise registers a waiter on the first unmet
+    /// dependency.
+    fn attempt_start(&mut self, r: usize, now: TimeNs) {
+        if self.running[r] {
+            return;
+        }
+        let Some(&head) = self.queues[r].get(self.cursor[r]) else {
+            return;
+        };
+        let task = self.graph.task(head);
+        if let Some(&unmet) = task.deps.iter().find(|d| !self.done[d.index()]) {
+            let entry = self.waiters.entry(unmet).or_default();
+            if !entry.contains(&r) {
+                entry.push(r);
+            }
+            return;
+        }
+        let start = now.max(self.free_at[r]);
+        let end = start + task.duration;
+        self.spans[head.index()] = TaskSpan {
+            task: head,
+            start,
+            end,
+        };
+        self.free_at[r] = end;
+        self.running[r] = true;
+        self.events.push(Reverse((end, r, head)));
+    }
+}
+
+/// Executes the graph; returns per-task spans and the makespan.
+///
+/// # Errors
+///
+/// Returns [`SimError::Deadlock`] when the per-stream FIFO orders are
+/// inconsistent with the dependency structure — the schedule being lowered
+/// would hang on real hardware too.
+pub fn simulate(graph: &TaskGraph) -> Result<SimResult, SimError> {
+    let mut st = EngineState::new(graph);
+    let n_res = st.queues.len();
+    for r in 0..n_res {
+        st.attempt_start(r, TimeNs::ZERO);
+    }
+
+    let mut makespan = TimeNs::ZERO;
+    let mut executed = 0usize;
+    while let Some(Reverse((now, r, task))) = st.events.pop() {
+        st.done[task.index()] = true;
+        executed += 1;
+        makespan = makespan.max(now);
+        st.running[r] = false;
+        st.cursor[r] += 1;
+        st.attempt_start(r, now);
+        if let Some(blocked) = st.waiters.remove(&task) {
+            for br in blocked {
+                st.attempt_start(br, now);
+            }
+        }
+    }
+
+    if executed != graph.len() {
+        let stuck: Vec<TaskId> = (0..graph.len())
+            .filter(|&i| !st.done[i])
+            .map(|i| TaskId(i as u32))
+            .collect();
+        let first_label = graph.task(stuck[0]).label;
+        return Err(SimError::Deadlock { stuck, first_label });
+    }
+
+    Ok(SimResult {
+        spans: st.spans,
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskKind;
+
+    fn push(g: &mut TaskGraph, dev: u32, stream: Stream, dur: u64, deps: Vec<TaskId>) -> TaskId {
+        g.push("t", dev, stream, DurNs(dur), TaskKind::Generic, deps)
+    }
+
+    #[test]
+    fn serial_chain_on_one_stream() {
+        let mut g = TaskGraph::new(1);
+        push(&mut g, 0, Stream::Compute, 10, vec![]);
+        push(&mut g, 0, Stream::Compute, 20, vec![]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan(), TimeNs(30));
+        assert_eq!(r.span(TaskId(1)).start, TimeNs(10));
+    }
+
+    #[test]
+    fn dependency_across_devices() {
+        let mut g = TaskGraph::new(2);
+        let a = push(&mut g, 0, Stream::Compute, 10, vec![]);
+        push(&mut g, 1, Stream::Compute, 5, vec![a]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.span(TaskId(1)).start, TimeNs(10));
+        assert_eq!(r.makespan(), TimeNs(15));
+    }
+
+    #[test]
+    fn streams_run_concurrently() {
+        let mut g = TaskGraph::new(1);
+        push(&mut g, 0, Stream::Compute, 10, vec![]);
+        push(&mut g, 0, Stream::TpComm, 10, vec![]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan(), TimeNs(10));
+    }
+
+    #[test]
+    fn fifo_head_of_line_blocking_creates_bubble() {
+        // Compute queue: [k1, k2]; k2 depends on a comm task that starts
+        // after k1. The compute stream idles (TP bubble) while comm runs.
+        let mut g = TaskGraph::new(1);
+        let k1 = push(&mut g, 0, Stream::Compute, 10, vec![]);
+        let comm = push(&mut g, 0, Stream::TpComm, 7, vec![k1]);
+        push(&mut g, 0, Stream::Compute, 5, vec![comm]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.span(TaskId(2)).start, TimeNs(17));
+        assert_eq!(r.makespan(), TimeNs(22));
+    }
+
+    #[test]
+    fn late_dependency_edge_is_honoured() {
+        // Dependency added after both tasks exist (two-phase construction).
+        let mut g = TaskGraph::new(2);
+        let a = push(&mut g, 0, Stream::Compute, 10, vec![]);
+        let b = push(&mut g, 1, Stream::Compute, 5, vec![]);
+        g.add_dep(a, b); // a now waits for b
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.span(a).start, TimeNs(5));
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        // Crossed FIFO heads: compute queue [k1(dep c2), k2] and TpComm
+        // queue [c1(dep k2), c2]. k1 blocks k2, c1 blocks c2, k1 waits on
+        // c2, c1 waits on k2 — a cycle through queue order.
+        let mut g = TaskGraph::new(1);
+        let k1 = push(&mut g, 0, Stream::Compute, 1, vec![]);
+        let k2 = push(&mut g, 0, Stream::Compute, 1, vec![]);
+        let c1 = push(&mut g, 0, Stream::TpComm, 1, vec![k2]);
+        let c2 = push(&mut g, 0, Stream::TpComm, 1, vec![]);
+        g.add_dep(k1, c2);
+        let _ = c1;
+        let err = simulate(&g).unwrap_err();
+        match err {
+            SimError::Deadlock { stuck, .. } => assert_eq!(stuck.len(), 4),
+        }
+    }
+
+    #[test]
+    fn resource_busy_delays_ready_task() {
+        let mut g = TaskGraph::new(1);
+        push(&mut g, 0, Stream::Compute, 100, vec![]);
+        // Second task is ready at t=0 but the stream is busy until 100.
+        push(&mut g, 0, Stream::Compute, 1, vec![]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.span(TaskId(1)).start, TimeNs(100));
+    }
+
+    #[test]
+    fn busy_time_accounts_all_spans() {
+        let mut g = TaskGraph::new(1);
+        push(&mut g, 0, Stream::Compute, 10, vec![]);
+        let c = push(&mut g, 0, Stream::TpComm, 50, vec![]);
+        push(&mut g, 0, Stream::Compute, 20, vec![c]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.busy_time(&g, 0, Stream::Compute), DurNs(30));
+        assert_eq!(r.busy_time(&g, 0, Stream::TpComm), DurNs(50));
+        assert_eq!(r.makespan(), TimeNs(70));
+    }
+
+    #[test]
+    fn zero_duration_tasks_complete() {
+        let mut g = TaskGraph::new(1);
+        let a = push(&mut g, 0, Stream::Compute, 0, vec![]);
+        push(&mut g, 0, Stream::Compute, 0, vec![a]);
+        let r = simulate(&g).unwrap();
+        assert_eq!(r.makespan(), TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,97 @@
+//! Chrome-trace (about://tracing, Perfetto) export of simulation timelines.
+
+use std::io::Write;
+
+use optimus_sim::{SimResult, Stream, TaskGraph};
+use serde::Serialize;
+
+/// One complete-event in the Chrome trace format.
+#[derive(Serialize)]
+struct Event<'a> {
+    name: &'a str,
+    cat: &'static str,
+    ph: &'static str,
+    /// Microseconds.
+    ts: f64,
+    /// Microseconds.
+    dur: f64,
+    pid: u32,
+    tid: u32,
+}
+
+fn stream_tid(s: Stream) -> u32 {
+    s.index() as u32
+}
+
+fn stream_cat(s: Stream) -> &'static str {
+    match s {
+        Stream::Compute => "compute",
+        Stream::TpComm => "tp_comm",
+        Stream::P2p => "p2p",
+        Stream::DpComm => "dp_comm",
+        Stream::EncP2p => "enc_p2p",
+    }
+}
+
+/// Serialises a simulated task graph as a Chrome-trace JSON array.
+///
+/// `pid` is the simulated device, `tid` the stream. Load the output in
+/// Perfetto or `chrome://tracing` to inspect bubbles visually (the Fig. 2 /
+/// Fig. 3 views).
+pub fn write_chrome_trace<W: Write>(
+    graph: &TaskGraph,
+    result: &SimResult,
+    mut out: W,
+) -> std::io::Result<()> {
+    let mut events = Vec::with_capacity(graph.len());
+    for t in graph.tasks() {
+        let span = result.span(t.id);
+        events.push(Event {
+            name: t.label,
+            cat: stream_cat(t.stream),
+            ph: "X",
+            ts: span.start.as_micros_f64(),
+            dur: span.duration().as_micros_f64(),
+            pid: t.device,
+            tid: stream_tid(t.stream),
+        });
+    }
+    let json = serde_json::to_string(&events)?;
+    out.write_all(json.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_cluster::DurNs;
+    use optimus_sim::{simulate, TaskKind};
+
+    #[test]
+    fn trace_is_valid_json_with_all_tasks() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(
+            "fwd",
+            0,
+            Stream::Compute,
+            DurNs(1000),
+            TaskKind::Generic,
+            vec![],
+        );
+        g.push(
+            "recv",
+            1,
+            Stream::P2p,
+            DurNs(500),
+            TaskKind::Generic,
+            vec![a],
+        );
+        let r = simulate(&g).unwrap();
+        let mut buf = Vec::new();
+        write_chrome_trace(&g, &r, &mut buf).unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&buf).unwrap();
+        let arr = parsed.as_array().unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(arr[0]["name"], "fwd");
+        assert_eq!(arr[1]["ts"], 1.0); // starts at 1 µs
+    }
+}

@@ -1,0 +1,27 @@
+//! Observability for simulated training steps: Chrome-trace export (Perfetto
+//! / `chrome://tracing` visualisation of the Fig. 2 / Fig. 3 views), ASCII
+//! timelines, and the Table 1 bubble-breakdown formatter.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_cluster::DurNs;
+//! use optimus_sim::{simulate, Stream, TaskGraph, TaskKind};
+//! use optimus_trace::render_timeline;
+//!
+//! let mut g = TaskGraph::new(1);
+//! g.push("k", 0, Stream::Compute, DurNs(100), TaskKind::Generic, vec![]);
+//! let r = simulate(&g).unwrap();
+//! let bar = render_timeline(&g, &r, 40);
+//! assert!(bar.contains("dev  0"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ascii;
+pub mod chrome;
+pub mod stats;
+
+pub use ascii::render_timeline;
+pub use chrome::write_chrome_trace;
+pub use stats::{bubble_table, TextTable};

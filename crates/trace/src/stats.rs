@@ -1,0 +1,114 @@
+//! Tabular reporting helpers used by the benchmark harness.
+
+use optimus_sim::{BubbleBreakdown, BubbleKind};
+
+/// Renders a [`BubbleBreakdown`] in the layout of the paper's Table 1.
+pub fn bubble_table(bd: &BubbleBreakdown) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>10} {:>14}\n",
+        "Bubble types", "Percentage", "Total time (s)"
+    ));
+    for kind in BubbleKind::ALL {
+        out.push_str(&format!(
+            "{:<28} {:>9.1}% {:>14.3}\n",
+            kind.label(),
+            bd.fraction(kind) * 100.0,
+            bd.time(kind).as_secs_f64()
+        ));
+    }
+    out.push_str(&format!(
+        "{:<28} {:>9.1}% {:>14.3}\n",
+        "total",
+        bd.total_fraction() * 100.0,
+        bd.step_time.as_secs_f64() * bd.total_fraction()
+    ));
+    out.push_str(&format!(
+        "step time: {:.3}s over {} devices\n",
+        bd.step_time.as_secs_f64(),
+        bd.num_devices
+    ));
+    out
+}
+
+/// A minimal fixed-width table builder for experiment output.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header length).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width differs from the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut TextTable {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with per-column widths.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(vec!["Method", "Time (s)"]);
+        t.row(vec!["Megatron-LM", "3.42"]);
+        t.row(vec!["Optimus", "2.78"]);
+        let s = t.render();
+        assert!(s.contains("Megatron-LM  3.42"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one"]);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: train a small MLLM under Megatron-LM and under Optimus,
+//! compare iteration times, and show where the encoder went.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use optimus_baselines::{common::SystemContext, megatron_lm};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::Workload;
+use optimus_parallel::ParallelPlan;
+
+fn main() {
+    // ViT-3B + GPT-11B on 8 simulated H100s, global batch 16 (Appendix C).
+    let workload = Workload::small_model();
+    let ctx = SystemContext::hopper(workload.num_gpus).expect("cluster setup");
+
+    // Baseline: encoders packed into the first pipeline stage.
+    let plan = (2, 2, 2); // (DP, PP, TP)
+    let megatron = megatron_lm(&workload, plan, &ctx).expect("megatron run");
+
+    // Optimus: separate encoder parallel plan + bubble scheduling.
+    let cfg = OptimusConfig::new(ParallelPlan::new(plan.0, plan.1, plan.2).expect("plan"));
+    let optimus = run_optimus(&workload, &cfg, &ctx).expect("optimus run");
+
+    println!("model: {}", workload.mllm.name);
+    println!(
+        "Megatron-LM: {:.3}s/iter  (MFU {:.1}%, {:.1} GiB peak)",
+        megatron.report.iteration_secs,
+        megatron.report.mfu * 100.0,
+        megatron.report.peak_memory_gib
+    );
+    println!(
+        "Optimus:     {:.3}s/iter  (MFU {:.1}%, {:.1} GiB peak)",
+        optimus.report.iteration_secs,
+        optimus.report.mfu * 100.0,
+        optimus.report.peak_memory_gib
+    );
+    println!(
+        "speedup: {:.2}x",
+        megatron.report.iteration_secs / optimus.report.iteration_secs
+    );
+    println!(
+        "\nchosen encoder plan: {} ({} pipelines per LLM pipeline, partition {:?})",
+        optimus.enc_plan,
+        optimus.outcome.partition.len(),
+        optimus.outcome.partition
+    );
+    println!(
+        "scheduling efficiency: coarse {:.1}%, fine {:.1}%  ({} fwd + {} bwd microbatches \
+         relocated into interior bubbles)",
+        optimus.eff_coarse * 100.0,
+        optimus.eff_fine * 100.0,
+        optimus.outcome.relocated.0,
+        optimus.outcome.relocated.1
+    );
+}

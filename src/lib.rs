@@ -1,0 +1,47 @@
+//! # Optimus — MLLM training acceleration by bubble exploitation
+//!
+//! A full reproduction of *"Optimus: Accelerating Large-Scale Multi-Modal
+//! LLM Training by Bubble Exploitation"* in Rust, built on a deterministic
+//! discrete-event simulation of 3D-parallel training (the substitution for
+//! the paper's production GPU cluster — see `DESIGN.md`).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`cluster`] — hardware profiles, topology, collective cost models;
+//! * [`modeling`] — model zoo (ViT-3B…22B, GPT-11B/175B, LLAMA-70B), FLOPs,
+//!   kernel decomposition, memory accounting, workloads;
+//! * [`parallel`] — 3D plans, enumeration, colocation layout, microbatch
+//!   partitioning;
+//! * [`sim`] — the discrete-event engine and bubble classification;
+//! * [`pipeline`] — 1F1B / interleaved-1F1B / GPipe schedules, task-graph
+//!   lowering, dependency points, the Appendix B balanced partitioner;
+//! * [`baselines`] — Megatron-LM, Megatron-LM balanced, FSDP, Alpa-like;
+//! * [`core`] — the paper's contribution: model planner, bubble scheduler,
+//!   dependency management, memory analysis, verifier;
+//! * [`trace`] — Chrome-trace export, ASCII timelines, report tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus::baselines::common::SystemContext;
+//! use optimus::core::{run_optimus, OptimusConfig};
+//! use optimus::modeling::Workload;
+//! use optimus::parallel::ParallelPlan;
+//!
+//! let workload = Workload::small_model();
+//! let ctx = SystemContext::hopper(workload.num_gpus).unwrap();
+//! let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+//! let run = run_optimus(&workload, &cfg, &ctx).unwrap();
+//! assert!(run.report.iteration_secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use optimus_baselines as baselines;
+pub use optimus_cluster as cluster;
+pub use optimus_core as core;
+pub use optimus_modeling as modeling;
+pub use optimus_parallel as parallel;
+pub use optimus_pipeline as pipeline;
+pub use optimus_sim as sim;
+pub use optimus_trace as trace;

@@ -1,0 +1,47 @@
+//! Determinism: identical inputs must yield bit-identical schedules and
+//! timings — the property that makes offline profiles trustworthy (§6) and
+//! regression tests meaningful.
+
+use optimus::baselines::common::SystemContext;
+use optimus::baselines::megatron_lm;
+use optimus::core::{run_optimus, OptimusConfig};
+use optimus::modeling::Workload;
+use optimus::parallel::ParallelPlan;
+use optimus::sim::simulate;
+
+#[test]
+fn simulation_is_deterministic() {
+    let w = Workload::small_model();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let a = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    let b = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    assert_eq!(a.result.makespan(), b.result.makespan());
+    for (sa, sb) in a.result.spans().iter().zip(b.result.spans()) {
+        assert_eq!(sa, sb);
+    }
+}
+
+#[test]
+fn resimulation_of_same_graph_matches() {
+    let w = Workload::small_model();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    let again = simulate(&run.lowered.graph).unwrap();
+    assert_eq!(again.makespan(), run.result.makespan());
+}
+
+#[test]
+fn optimus_schedule_is_deterministic() {
+    let w = Workload::small_model();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    let a = run_optimus(&w, &cfg, &ctx).unwrap();
+    let b = run_optimus(&w, &cfg, &ctx).unwrap();
+    assert_eq!(a.outcome.latency, b.outcome.latency);
+    assert_eq!(a.enc_plan, b.enc_plan);
+    assert_eq!(a.outcome.partition, b.outcome.partition);
+    assert_eq!(a.outcome.placements.len(), b.outcome.placements.len());
+    for (pa, pb) in a.outcome.placements.iter().zip(&b.outcome.placements) {
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests over the core data structures and invariants.
+
+use optimus::cluster::{ClusterTopology, CollectiveKind, CommCostModel, DurNs, ProcessGroup};
+use optimus::parallel::{composition_count, Compositions, ParallelPlan};
+use optimus::pipeline::{balance_layers, gpipe, interleaved_1f1b, one_f_one_b};
+use optimus::sim::{simulate, Stream, TaskGraph, TaskId, TaskKind};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every composition sums to n with strictly positive parts, and the
+    /// count matches the closed form.
+    #[test]
+    fn compositions_sound(n in 1u32..14, m in 1u32..6) {
+        prop_assume!(m <= n);
+        let all: Vec<Vec<u32>> = Compositions::new(n, m).unwrap().collect();
+        prop_assert_eq!(all.len() as u128, composition_count(n, m));
+        for c in &all {
+            prop_assert_eq!(c.iter().sum::<u32>(), n);
+            prop_assert!(c.iter().all(|&x| x >= 1));
+            prop_assert_eq!(c.len(), m as usize);
+        }
+        // All distinct.
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), all.len());
+    }
+
+    /// The balanced partitioner respects both lower bounds and is exact
+    /// against brute force on small instances.
+    #[test]
+    fn balance_layers_optimal(times in prop::collection::vec(1u64..50, 1..10), m in 1u32..5) {
+        prop_assume!(times.len() >= m as usize);
+        let durs: Vec<DurNs> = times.iter().map(|&t| DurNs(t)).collect();
+        let result = balance_layers(&durs, m).unwrap();
+        prop_assert_eq!(result.layers_per_stage.iter().sum::<u32>() as usize, times.len());
+        prop_assert!(result.layers_per_stage.iter().all(|&c| c >= 1));
+
+        // Brute force over all compositions of len(times) into m parts.
+        let mut best = u64::MAX;
+        for comp in Compositions::new(times.len() as u32, m).unwrap() {
+            let mut idx = 0;
+            let mut worst = 0u64;
+            for &c in &comp {
+                let sum: u64 = times[idx..idx + c as usize].iter().sum();
+                worst = worst.max(sum);
+                idx += c as usize;
+            }
+            best = best.min(worst);
+        }
+        prop_assert_eq!(result.bottleneck.0, best);
+    }
+
+    /// Any forward-dependency task graph simulates to completion with a
+    /// makespan at least the critical-path bound and at most the serial sum.
+    #[test]
+    fn random_dags_simulate(
+        tasks in prop::collection::vec((0u32..4, 0usize..4, 1u64..100), 1..60)
+    ) {
+        let mut g = TaskGraph::new(4);
+        let mut ids: Vec<TaskId> = Vec::new();
+        for (dev, n_deps, dur) in tasks {
+            // Deps drawn from already-created tasks (forward time).
+            let deps: Vec<TaskId> = (0..n_deps.min(ids.len()))
+                .map(|k| ids[ids.len() - 1 - k])
+                .collect();
+            let stream = match dur % 3 {
+                0 => Stream::Compute,
+                1 => Stream::TpComm,
+                _ => Stream::P2p,
+            };
+            ids.push(g.push("t", dev, stream, DurNs(dur), TaskKind::Generic, deps));
+        }
+        let r = simulate(&g).unwrap();
+        let serial: u64 = g.tasks().iter().map(|t| t.duration.0).sum();
+        prop_assert!(r.makespan().0 <= serial);
+        // Longest dependency chain is a lower bound.
+        let mut depth = vec![0u64; g.len()];
+        for t in g.tasks() {
+            let base = t.deps.iter().map(|d| depth[d.index()]).max().unwrap_or(0);
+            depth[t.id.index()] = base + t.duration.0;
+        }
+        let bound = depth.iter().copied().max().unwrap_or(0);
+        prop_assert!(r.makespan().0 >= bound, "makespan {} < bound {}", r.makespan().0, bound);
+        // No two tasks overlap on the same resource.
+        for dev in 0..4 {
+            for stream in Stream::ALL {
+                let spans = r.stream_spans(&g, dev, stream);
+                for w in spans.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start);
+                }
+            }
+        }
+    }
+
+    /// Every generated pipeline schedule validates, for all shapes.
+    #[test]
+    fn schedules_validate(pp in 1u32..6, vpp in 1u32..4, k in 1u32..5) {
+        let n = pp * k; // interleaving needs pp | n
+        one_f_one_b(pp, n).unwrap().validate().unwrap();
+        gpipe(pp, n).unwrap().validate().unwrap();
+        interleaved_1f1b(pp, vpp, n, None).unwrap().validate().unwrap();
+    }
+
+    /// Collective times are monotone in payload size.
+    #[test]
+    fn collectives_monotone(bytes_a in 1u64..1_000_000, bytes_b in 1u64..1_000_000) {
+        let topo = ClusterTopology::hopper_cluster(16).unwrap();
+        let comm = CommCostModel::new(topo);
+        let g = ProcessGroup::contiguous(0, 8).unwrap();
+        let (small, large) = (bytes_a.min(bytes_b), bytes_a.max(bytes_b));
+        let ts = comm.collective_time(CollectiveKind::AllGather, small, &g);
+        let tl = comm.collective_time(CollectiveKind::AllGather, large, &g);
+        prop_assert!(ts <= tl);
+    }
+
+    /// Layer splits cover all layers with stage sizes differing by ≤ 1.
+    #[test]
+    fn layer_split_even(layers in 1u32..200, pp in 1u32..9, vpp in 1u32..4) {
+        let plan = ParallelPlan::with_vpp(1, pp, 1, vpp).unwrap();
+        let split = plan.layer_split(layers);
+        prop_assert_eq!(split.iter().sum::<u32>(), layers);
+        let min = split.iter().min().unwrap();
+        let max = split.iter().max().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}
