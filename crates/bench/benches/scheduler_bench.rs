@@ -1,8 +1,13 @@
-//! Criterion microbenchmarks of the hot paths: the discrete-event engine,
-//! the bubble scheduler's per-partition packing, and the balanced
-//! partitioner.
+//! Microbenchmarks of the hot paths: the discrete-event engine, the bubble
+//! scheduler's per-partition packing, and the balanced partitioner.
+//!
+//! Runs under `cargo bench` with a plain `Instant`-based harness (no
+//! registry dependencies): each case is warmed up, then timed over enough
+//! iterations to smooth scheduler noise, reporting the per-iteration median
+//! of several batches.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+
 use optimus_baselines::common::SystemContext;
 use optimus_cluster::DurNs;
 use optimus_core::{BubbleScheduler, EncoderWork, LlmProfile};
@@ -11,7 +16,29 @@ use optimus_parallel::{ColocationLayout, ParallelPlan};
 use optimus_pipeline::balance_layers;
 use optimus_sim::{simulate, Stream, TaskGraph, TaskKind};
 
-fn bench_engine(c: &mut Criterion) {
+/// Times `f` over `batches` batches of `iters` iterations; reports the
+/// median per-iteration time in microseconds.
+fn bench<F: FnMut()>(name: &str, batches: usize, iters: usize, mut f: F) {
+    for _ in 0..iters.min(3) {
+        f(); // warmup
+    }
+    let mut per_iter_us: Vec<f64> = (0..batches)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+        })
+        .collect();
+    per_iter_us.sort_by(f64::total_cmp);
+    println!(
+        "{name:<44} {:>12.2} µs/iter (median of {batches}×{iters})",
+        per_iter_us[per_iter_us.len() / 2]
+    );
+}
+
+fn bench_engine() {
     // A 4-device pipeline-shaped graph with ~4k tasks.
     let mut g = TaskGraph::new(4);
     let mut prev: Vec<Option<optimus_sim::TaskId>> = vec![None; 4];
@@ -29,12 +56,12 @@ fn bench_engine(c: &mut Criterion) {
             prev[d as usize] = Some(id);
         }
     }
-    c.bench_function("engine_simulate_4k_tasks", |b| {
-        b.iter(|| simulate(&g).unwrap())
+    bench("engine_simulate_4k_tasks", 7, 20, || {
+        simulate(&g).unwrap();
     });
 }
 
-fn bench_scheduler(c: &mut Criterion) {
+fn bench_scheduler() {
     let w = Workload::new(MllmConfig::small(), 8, 16, 1);
     let llm_plan = ParallelPlan::new(2, 2, 2).unwrap();
     let enc_plan = ParallelPlan::new(4, 1, 2).unwrap();
@@ -43,22 +70,25 @@ fn bench_scheduler(c: &mut Criterion) {
     let work = EncoderWork::build(&w.mllm, &enc_plan, 1, &ctx).unwrap();
     let layout = ColocationLayout::new(llm_plan, enc_plan).unwrap();
     let s = BubbleScheduler::new(&profile, &work, &layout).unwrap();
-    c.bench_function("bubble_scheduler_one_partition", |b| {
-        b.iter(|| s.schedule_partition(&[4, 4], true).unwrap())
+    bench("bubble_scheduler_one_partition", 7, 50, || {
+        s.schedule_partition(&[4, 4], true).unwrap();
     });
-    c.bench_function("bubble_scheduler_search_64_partitions", |b| {
-        b.iter(|| s.schedule(64, true).unwrap())
+    bench("bubble_scheduler_search_64_partitions", 5, 5, || {
+        s.schedule(64, true).unwrap();
     });
 }
 
-fn bench_balance(c: &mut Criterion) {
+fn bench_balance() {
     let times: Vec<DurNs> = (0..144)
         .map(|i| DurNs(1_000_000 + (i % 13) * 50_000))
         .collect();
-    c.bench_function("balanced_partition_144_layers_96_stages", |b| {
-        b.iter(|| balance_layers(&times, 96).unwrap())
+    bench("balanced_partition_144_layers_96_stages", 7, 20, || {
+        balance_layers(&times, 96).unwrap();
     });
 }
 
-criterion_group!(benches, bench_engine, bench_scheduler, bench_balance);
-criterion_main!(benches);
+fn main() {
+    bench_engine();
+    bench_scheduler();
+    bench_balance();
+}

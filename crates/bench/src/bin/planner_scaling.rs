@@ -1,0 +1,6 @@
+//! Planner-search strong scaling on the Table 5 3072-GPU config.
+
+fn main() {
+    let (report, _) = optimus_bench::experiments::planner_scaling::run();
+    println!("{report}");
+}

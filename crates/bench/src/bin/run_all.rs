@@ -3,8 +3,10 @@
 
 use optimus_bench::experiments as ex;
 
+type Experiment = (&'static str, Box<dyn Fn() -> String>);
+
 fn main() {
-    let order: Vec<(&str, Box<dyn Fn() -> String>)> = vec![
+    let order: Vec<Experiment> = vec![
         ("Table 1", Box::new(|| ex::table1::run().0)),
         ("Figure 3", Box::new(|| ex::fig3::run().0)),
         ("Figure 12", Box::new(|| ex::fig12::run().0)),
@@ -14,6 +16,7 @@ fn main() {
         ("Figure 16", Box::new(|| ex::fig16::run().0)),
         ("Figure 17", Box::new(|| ex::fig17::run().0)),
         ("Table 7", Box::new(|| ex::table7::run().0)),
+        ("Planner scaling", Box::new(|| ex::planner_scaling::run().0)),
         ("Ablations", Box::new(|| ex::ablations::run().0)),
         (
             "Zero-bubble extension",

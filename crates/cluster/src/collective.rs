@@ -6,9 +6,14 @@
 //! NCCL ring collectives scale and is the model used by Megatron-LM-style
 //! planners when estimating communication time.
 
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
 use crate::group::ProcessGroup;
 use crate::time::DurNs;
-use crate::topology::{ClusterTopology, DeviceId};
+use crate::topology::{ClusterTopology, DeviceId, LinkClass};
 
 /// The collective operations the training stack issues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -23,6 +28,88 @@ pub enum CollectiveKind {
     Broadcast,
 }
 
+/// Memo key for one ring-collective query: the α–β cost depends only on
+/// these four values, not on the concrete rank list.
+type CollectiveKey = (CollectiveKind, u32, u64, LinkClass);
+
+/// Hit/miss counters of the collective cost cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Queries answered from the memo table.
+    pub hits: u64,
+    /// Queries that computed and inserted a fresh entry.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of queries served from the cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// Concurrent memo table for ring-collective costs.
+///
+/// The planner's search re-queries the same (kind, group size, payload,
+/// link class) tuples thousands of times per candidate sweep; after warmup
+/// every query is a shared read lock plus a hash probe. Cloning the owning
+/// [`CommCostModel`] shares the table, so parallel search workers populate
+/// one memo.
+#[derive(Default)]
+pub struct CollectiveCostCache {
+    table: RwLock<HashMap<CollectiveKey, DurNs>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CollectiveCostCache {
+    fn get_or_insert_with(&self, key: CollectiveKey, compute: impl FnOnce() -> DurNs) -> DurNs {
+        if let Some(&dur) = self.table.read().expect("cost cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return dur;
+        }
+        // Recompute outside any lock; the model is pure, so a racing insert
+        // of the same key writes the identical value.
+        let dur = compute();
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.table
+            .write()
+            .expect("cost cache poisoned")
+            .insert(key, dur);
+        dur
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn clear(&self) {
+        self.table.write().expect("cost cache poisoned").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    fn len(&self) -> usize {
+        self.table.read().expect("cost cache poisoned").len()
+    }
+}
+
+impl fmt::Debug for CollectiveCostCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollectiveCostCache")
+            .field("entries", &self.len())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 /// Communication cost model bound to one cluster topology.
 #[derive(Debug, Clone)]
 pub struct CommCostModel {
@@ -30,6 +117,7 @@ pub struct CommCostModel {
     /// Multiplier (> 1.0) applied to the end-of-step reduce-scatter to model
     /// straggler synchronisation delay (§2.2 footnote 1).
     pub straggler_factor: f64,
+    cache: Arc<CollectiveCostCache>,
 }
 
 impl CommCostModel {
@@ -39,6 +127,7 @@ impl CommCostModel {
         CommCostModel {
             topo,
             straggler_factor: 1.35,
+            cache: Arc::new(CollectiveCostCache::default()),
         }
     }
 
@@ -47,17 +136,50 @@ impl CommCostModel {
         &self.topo
     }
 
+    /// Hit/miss counters of the collective memo table.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Number of memoised collective costs.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Empties the memo table and resets the counters.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
     /// Ring-collective time for `bytes` total payload over `group`.
     ///
     /// `bytes` is the full tensor size: each rank contributes/receives
     /// `bytes / g`. All-reduce costs two ring passes (reduce-scatter +
     /// all-gather); the others cost one.
+    ///
+    /// Results are memoised per (kind, group size, payload, bottleneck link
+    /// class) — the only inputs the α–β model reads — behind a concurrent
+    /// read path shared by clones of this model.
     pub fn collective_time(&self, kind: CollectiveKind, bytes: u64, group: &ProcessGroup) -> DurNs {
-        let g = group.size() as f64;
         if group.size() <= 1 {
             return DurNs::ZERO;
         }
-        let link = self.topo.link_profile(group.bottleneck_link(&self.topo));
+        let class = group.bottleneck_link(&self.topo);
+        self.cache
+            .get_or_insert_with((kind, group.size(), bytes, class), || {
+                self.compute_collective_time(kind, bytes, group.size(), class)
+            })
+    }
+
+    fn compute_collective_time(
+        &self,
+        kind: CollectiveKind,
+        bytes: u64,
+        group_size: u32,
+        class: LinkClass,
+    ) -> DurNs {
+        let g = f64::from(group_size);
+        let link = self.topo.link_profile(class);
         let passes = match kind {
             CollectiveKind::AllReduce => 2.0,
             CollectiveKind::AllGather
@@ -162,6 +284,99 @@ mod tests {
         assert_eq!(m.p2p_time(1 << 20, DeviceId(3), DeviceId(3)), DurNs::ZERO);
         // 64 MiB over 50 GB/s RDMA ≈ 1.34 ms.
         assert!((far.as_millis_f64() - 1.34).abs() < 0.1, "far {far}");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let m = model(16);
+        let g = ProcessGroup::contiguous(0, 8).unwrap();
+        assert_eq!(m.cache_stats(), CacheStats::default());
+        let first = m.collective_time(CollectiveKind::AllGather, 1 << 20, &g);
+        assert_eq!(m.cache_stats(), CacheStats { hits: 0, misses: 1 });
+        let second = m.collective_time(CollectiveKind::AllGather, 1 << 20, &g);
+        assert_eq!(first, second);
+        assert_eq!(m.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        // A different payload, kind, or link class is a distinct entry.
+        m.collective_time(CollectiveKind::AllGather, 1 << 21, &g);
+        m.collective_time(CollectiveKind::AllReduce, 1 << 20, &g);
+        let inter = ProcessGroup::new((0..8).map(|i| DeviceId(i * 2)).collect()).unwrap();
+        m.collective_time(CollectiveKind::AllGather, 1 << 20, &inter);
+        assert_eq!(m.cache_stats(), CacheStats { hits: 1, misses: 4 });
+        assert_eq!(m.cache_len(), 4);
+        assert!((m.cache_stats().hit_rate() - 0.2).abs() < 1e-12);
+        m.clear_cache();
+        assert_eq!(m.cache_stats(), CacheStats::default());
+        assert_eq!(m.cache_len(), 0);
+    }
+
+    #[test]
+    fn cached_groups_with_same_shape_share_entries() {
+        // Two distinct rank lists with identical (size, link class) must hit
+        // the same memo entry — the α–β model cannot tell them apart.
+        let m = model(16);
+        let a = ProcessGroup::contiguous(0, 4).unwrap();
+        let b = ProcessGroup::contiguous(4, 4).unwrap();
+        let ta = m.collective_time(CollectiveKind::ReduceScatter, 1 << 24, &a);
+        let tb = m.collective_time(CollectiveKind::ReduceScatter, 1 << 24, &b);
+        assert_eq!(ta, tb);
+        assert_eq!(m.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn clones_share_one_cache() {
+        let m = model(8);
+        let g = ProcessGroup::contiguous(0, 8).unwrap();
+        let clone = m.clone();
+        m.collective_time(CollectiveKind::AllGather, 1 << 20, &g);
+        clone.collective_time(CollectiveKind::AllGather, 1 << 20, &g);
+        assert_eq!(m.cache_stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn singleton_groups_bypass_the_cache() {
+        let m = model(8);
+        let g = ProcessGroup::contiguous(0, 1).unwrap();
+        m.collective_time(CollectiveKind::AllGather, 1 << 30, &g);
+        assert_eq!(m.cache_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn cache_is_consistent_across_threads() {
+        let m = model(64);
+        let uncached = CommCostModel::new(m.topology().clone());
+        let payloads: Vec<u64> = (0..32).map(|i| 1u64 << (10 + i % 16)).collect();
+        let kinds = [
+            CollectiveKind::AllGather,
+            CollectiveKind::ReduceScatter,
+            CollectiveKind::AllReduce,
+        ];
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let g = ProcessGroup::contiguous(0, 16).unwrap();
+                    for &bytes in &payloads {
+                        for kind in kinds {
+                            let cached = m.collective_time(kind, bytes, &g);
+                            let fresh = uncached.compute_collective_time(
+                                kind,
+                                bytes,
+                                g.size(),
+                                g.bottleneck_link(uncached.topology()),
+                            );
+                            assert_eq!(cached, fresh);
+                        }
+                    }
+                });
+            }
+        });
+        let stats = m.cache_stats();
+        // 8 threads × 32 payloads × 3 kinds = 768 queries over ≤ 96 distinct
+        // keys (racing threads may each take the miss path for one key, so
+        // the miss count can exceed the final entry count slightly).
+        assert_eq!(stats.hits + stats.misses, 768);
+        let entries = m.cache_len() as u64;
+        assert!(entries <= 96 && stats.misses >= entries, "{stats:?}");
+        assert!(stats.hits >= 768 - stats.misses);
     }
 
     #[test]

@@ -17,7 +17,7 @@ impl DeviceId {
 }
 
 /// A point-to-point link class between two GPUs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LinkClass {
     /// Same-GPU "link" — zero-cost loopback.
     Loopback,
@@ -87,7 +87,7 @@ impl ClusterTopology {
         if num_gpus == 0 || gpus_per_node == 0 {
             return Err(ClusterError::EmptyCluster);
         }
-        if num_gpus % gpus_per_node != 0 && num_gpus > gpus_per_node {
+        if !num_gpus.is_multiple_of(gpus_per_node) && num_gpus > gpus_per_node {
             return Err(ClusterError::UnevenNodes {
                 num_gpus,
                 gpus_per_node,

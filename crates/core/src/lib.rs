@@ -48,7 +48,10 @@ pub use error::OptimusError;
 pub use memory::{colocated_model_state_bytes, colocation_overhead_bytes, optimus_memory};
 pub use optimus::{run_optimus, OptimusConfig, OptimusRun};
 pub use persist::SavedSchedule;
-pub use planner::{plan_model, EncoderCandidate, PlannerOutput};
+pub use planner::{
+    plan_chunks, plan_model, resolve_workers, search_plan_chunks, search_plans, CandidateVerdict,
+    EncoderCandidate, PlanSearch, PlannerOutput, SearchChunk, SearchStats, WorkerTiming,
+};
 pub use profile::{DeviceProfile, FreeInterval, LlmProfile, LlmScheduleKind, Ts};
 pub use robustness::{drift_study, jitter_study, DriftReport, RobustnessReport};
 pub use scheduler::{

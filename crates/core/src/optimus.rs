@@ -8,7 +8,10 @@ use optimus_parallel::ParallelPlan;
 use crate::encoder::EncoderWork;
 use crate::error::OptimusError;
 use crate::memory::optimus_memory;
-use crate::planner::{plan_model, PlannerOutput};
+use crate::planner::{
+    plan_chunks, plan_model, search_plan_chunks, CandidateVerdict, EncoderCandidate, PlannerOutput,
+    SearchChunk, SearchStats,
+};
 use crate::profile::LlmProfile;
 use crate::scheduler::{BubbleScheduler, ScheduleOutcome};
 
@@ -38,6 +41,9 @@ pub struct OptimusConfig {
     /// Per-microbatch encoder load scales for heterogeneous data (variable
     /// images per sample); `None` = uniform.
     pub mb_scales: Option<Vec<f64>>,
+    /// Worker threads for the candidate plan search; `0` = one per
+    /// available core. The chosen plan is bit-identical for any value.
+    pub search_workers: usize,
 }
 
 impl OptimusConfig {
@@ -52,7 +58,14 @@ impl OptimusConfig {
             bubble_margin: 0.0,
             llm_schedule: crate::profile::LlmScheduleKind::default(),
             mb_scales: None,
+            search_workers: 0,
         }
+    }
+
+    /// Sets the plan-search worker count (`0` = one per available core).
+    pub fn with_search_workers(mut self, workers: usize) -> OptimusConfig {
+        self.search_workers = workers;
+        self
     }
 }
 
@@ -77,6 +90,8 @@ pub struct OptimusRun {
     pub planner_pruned: usize,
     /// Encoder plans evaluated by the scheduler.
     pub candidates_evaluated: usize,
+    /// Timing and counters from the parallel plan search.
+    pub search: SearchStats,
 }
 
 /// Runs Optimus end to end (Algorithm 1).
@@ -95,36 +110,57 @@ pub fn run_optimus(
     )?;
     let n_mb = profile.n_microbatches();
 
-    let mut best: Option<(ScheduleOutcome, ParallelPlan)> = None;
-    let mut evaluated = 0usize;
-    for cand in &planner.candidates {
-        let mb = u64::from(w.microbatch_size);
-        let built = if cfg.frozen_encoder {
-            EncoderWork::build_frozen(&w.mllm, &cand.plan, mb, ctx)
+    // Fan the search out across workers. Work items are (candidate,
+    // partition chunk) pairs: every chunk builds its own encoder work and
+    // scheduler, recomputes the (pure, deterministic) partition
+    // enumeration, and sweeps only its slice of it. Chunking bounds the
+    // cost of the largest item so one expensive candidate cannot cap the
+    // speedup; the engine's deterministic reduction makes the winner
+    // identical to a sequential sweep for any worker count.
+    const PARTITIONS_PER_ITEM: usize = 8;
+    let chunks = plan_chunks(&planner.candidates, PARTITIONS_PER_ITEM, |i| {
+        let m = planner.candidates[i].layout.pipelines_per_llm_pipeline();
+        let total = optimus_parallel::composition_count(n_mb, m);
+        if n_mb < m || total == 0 {
+            1 // one item, which will report the infeasibility
         } else {
-            EncoderWork::build(&w.mllm, &cand.plan, mb, ctx)
-        };
-        let Ok(work) = built else { continue };
-        let mut scheduler =
-            BubbleScheduler::new(&profile, &work, &cand.layout)?.with_margin(cfg.bubble_margin);
-        if let Some(sc) = &cfg.mb_scales {
-            scheduler = scheduler.with_scales(sc.clone())?;
+            total.min(cfg.max_partitions.max(1) as u128) as usize
         }
-        evaluated += 1;
-        let Ok(outcome) = scheduler.schedule(cfg.max_partitions, cfg.fine_grained) else {
-            continue;
+    });
+    let eval =
+        |chunk: &SearchChunk, cand: &EncoderCandidate| -> Result<CandidateVerdict, OptimusError> {
+            let mb = u64::from(w.microbatch_size);
+            let built = if cfg.frozen_encoder {
+                EncoderWork::build_frozen(&w.mllm, &cand.plan, mb, ctx)
+            } else {
+                EncoderWork::build(&w.mllm, &cand.plan, mb, ctx)
+            };
+            let Ok(work) = built else {
+                return Ok(CandidateVerdict::BuildFailed);
+            };
+            let mut scheduler =
+                BubbleScheduler::new(&profile, &work, &cand.layout)?.with_margin(cfg.bubble_margin);
+            if let Some(sc) = &cfg.mb_scales {
+                scheduler = scheduler.with_scales(sc.clone())?;
+            }
+            let Ok(partitions) = scheduler.candidate_partitions(cfg.max_partitions) else {
+                return Ok(CandidateVerdict::Infeasible);
+            };
+            let hi = chunk.hi.min(partitions.len());
+            if chunk.lo >= hi {
+                return Ok(CandidateVerdict::Infeasible);
+            }
+            match scheduler.schedule_slice(&partitions[chunk.lo..hi], cfg.fine_grained) {
+                Some(outcome) => Ok(CandidateVerdict::Feasible(outcome)),
+                None => Ok(CandidateVerdict::Infeasible),
+            }
         };
-        let better = best
-            .as_ref()
-            .map(|(b, _)| outcome.latency < b.latency)
-            .unwrap_or(true);
-        if better {
-            best = Some((outcome, cand.plan));
-        }
-    }
-    let (outcome, enc_plan) = best.ok_or_else(|| {
+    let search = search_plan_chunks(&planner.candidates, &chunks, cfg.search_workers, eval)?;
+    let stats = search.stats;
+    let (best_idx, outcome) = search.best.ok_or_else(|| {
         OptimusError::Infeasible("no encoder plan produced a feasible schedule".into())
     })?;
+    let enc_plan: ParallelPlan = planner.candidates[best_idx].plan;
     // Coarse-only efficiency for the chosen plan (Table 7's Eff_coarse).
     let eff_coarse = {
         let mb = u64::from(w.microbatch_size);
@@ -158,7 +194,8 @@ pub fn run_optimus(
         eff_coarse,
         eff_fine,
         planner_pruned: planner.pruned,
-        candidates_evaluated: evaluated,
+        candidates_evaluated: stats.evaluated,
+        search: stats,
     })
 }
 

@@ -5,13 +5,16 @@
 //! module serialises a chosen schedule (plans, partition, placements,
 //! coarse blocks, dependency metadata) to JSON and validates on load that
 //! it matches the workload it is applied to.
+//!
+//! Serialisation is hand-rolled over [`optimus_json`] so the workspace
+//! builds with no registry dependencies.
 
 use std::io::{Read, Write};
 
+use optimus_json::{Json, JsonError};
 use optimus_modeling::Workload;
 use optimus_parallel::ParallelPlan;
 use optimus_pipeline::Dir;
-use serde::{Deserialize, Serialize};
 
 use crate::error::OptimusError;
 use crate::optimus::OptimusRun;
@@ -21,34 +24,46 @@ use crate::scheduler::{CoarseBlock, KernelPlacement, ScheduleOutcome};
 /// On-disk format version.
 pub const FORMAT_VERSION: u32 = 1;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-enum DirDto {
-    Fwd,
-    Bwd,
-    Wgrad,
-}
-
-impl From<Dir> for DirDto {
-    fn from(d: Dir) -> DirDto {
-        match d {
-            Dir::Fwd => DirDto::Fwd,
-            Dir::Bwd => DirDto::Bwd,
-            Dir::Wgrad => DirDto::Wgrad,
-        }
+fn dir_name(d: Dir) -> &'static str {
+    match d {
+        Dir::Fwd => "fwd",
+        Dir::Bwd => "bwd",
+        Dir::Wgrad => "wgrad",
     }
 }
 
-impl From<DirDto> for Dir {
-    fn from(d: DirDto) -> Dir {
-        match d {
-            DirDto::Fwd => Dir::Fwd,
-            DirDto::Bwd => Dir::Bwd,
-            DirDto::Wgrad => Dir::Wgrad,
-        }
+fn dir_from(name: &str) -> Result<Dir, JsonError> {
+    match name {
+        "fwd" => Ok(Dir::Fwd),
+        "bwd" => Ok(Dir::Bwd),
+        "wgrad" => Ok(Dir::Wgrad),
+        other => Err(JsonError(format!("unknown direction `{other}`"))),
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+fn ts_json(t: Ts) -> Json {
+    Json::from(t)
+}
+
+fn plan_json(p: &PlanDto) -> Json {
+    Json::obj(vec![
+        ("dp", Json::from(p.dp)),
+        ("pp", Json::from(p.pp)),
+        ("tp", Json::from(p.tp)),
+        ("vpp", Json::from(p.vpp)),
+    ])
+}
+
+fn plan_from(v: &Json) -> Result<PlanDto, JsonError> {
+    Ok(PlanDto {
+        dp: v.field("dp")?.as_u32()?,
+        pp: v.field("pp")?.as_u32()?,
+        tp: v.field("tp")?.as_u32()?,
+        vpp: v.field("vpp")?.as_u32()?,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct PlanDto {
     dp: u32,
     pp: u32,
@@ -75,12 +90,12 @@ impl TryFrom<PlanDto> for ParallelPlan {
     }
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 struct PlacementDto {
     pipeline: u32,
     enc_stage: u32,
     microbatch: u32,
-    dir: DirDto,
+    dir: Dir,
     llm_stage: u32,
     start: Ts,
     end: Ts,
@@ -89,7 +104,39 @@ struct PlacementDto {
     anchor: u32,
 }
 
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl PlacementDto {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pipeline", Json::from(self.pipeline)),
+            ("enc_stage", Json::from(self.enc_stage)),
+            ("microbatch", Json::from(self.microbatch)),
+            ("dir", Json::from(dir_name(self.dir))),
+            ("llm_stage", Json::from(self.llm_stage)),
+            ("start", ts_json(self.start)),
+            ("end", ts_json(self.end)),
+            ("comm", Json::from(self.comm)),
+            ("label", Json::from(self.label.as_str())),
+            ("anchor", Json::from(self.anchor)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<PlacementDto, JsonError> {
+        Ok(PlacementDto {
+            pipeline: v.field("pipeline")?.as_u32()?,
+            enc_stage: v.field("enc_stage")?.as_u32()?,
+            microbatch: v.field("microbatch")?.as_u32()?,
+            dir: dir_from(v.field("dir")?.as_str()?)?,
+            llm_stage: v.field("llm_stage")?.as_u32()?,
+            start: v.field("start")?.as_i64()?,
+            end: v.field("end")?.as_i64()?,
+            comm: v.field("comm")?.as_bool()?,
+            label: v.field("label")?.as_str()?.to_string(),
+            anchor: v.field("anchor")?.as_u32()?,
+        })
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
 struct BlockDto {
     pipeline: u32,
     enc_stage: u32,
@@ -98,11 +145,39 @@ struct BlockDto {
     end: Ts,
     compute_work: Ts,
     microbatches: u32,
-    dir: DirDto,
+    dir: Dir,
+}
+
+impl BlockDto {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("pipeline", Json::from(self.pipeline)),
+            ("enc_stage", Json::from(self.enc_stage)),
+            ("llm_stage", Json::from(self.llm_stage)),
+            ("start", ts_json(self.start)),
+            ("end", ts_json(self.end)),
+            ("compute_work", ts_json(self.compute_work)),
+            ("microbatches", Json::from(self.microbatches)),
+            ("dir", Json::from(dir_name(self.dir))),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<BlockDto, JsonError> {
+        Ok(BlockDto {
+            pipeline: v.field("pipeline")?.as_u32()?,
+            enc_stage: v.field("enc_stage")?.as_u32()?,
+            llm_stage: v.field("llm_stage")?.as_u32()?,
+            start: v.field("start")?.as_i64()?,
+            end: v.field("end")?.as_i64()?,
+            compute_work: v.field("compute_work")?.as_i64()?,
+            microbatches: v.field("microbatches")?.as_u32()?,
+            dir: dir_from(v.field("dir")?.as_str()?)?,
+        })
+    }
 }
 
 /// A serialised bubble schedule with the context needed to validate reuse.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SavedSchedule {
     /// Format version.
     pub version: u32,
@@ -165,7 +240,7 @@ impl SavedSchedule {
                     pipeline: p.pipeline,
                     enc_stage: p.enc_stage,
                     microbatch: p.microbatch,
-                    dir: p.dir.into(),
+                    dir: p.dir,
                     llm_stage: p.llm_stage,
                     start: p.start,
                     end: p.end,
@@ -185,16 +260,95 @@ impl SavedSchedule {
                     end: b.end,
                     compute_work: b.compute_work,
                     microbatches: b.microbatches,
-                    dir: b.dir.into(),
+                    dir: b.dir,
                 })
                 .collect(),
         }
     }
 
+    fn to_json(&self) -> Json {
+        let ts_arr = |v: &[Ts]| Json::Arr(v.iter().map(|&t| ts_json(t)).collect());
+        Json::obj(vec![
+            ("version", Json::from(self.version)),
+            ("model", Json::from(self.model.as_str())),
+            ("num_gpus", Json::from(self.num_gpus)),
+            ("global_batch", Json::from(self.global_batch)),
+            ("microbatch_size", Json::from(self.microbatch_size)),
+            ("llm_plan", plan_json(&self.llm_plan)),
+            ("enc_plan", plan_json(&self.enc_plan)),
+            (
+                "partition",
+                Json::Arr(self.partition.iter().map(|&p| Json::from(p)).collect()),
+            ),
+            ("latency_ns", ts_json(self.latency_ns)),
+            ("prefix_ns", ts_json(self.prefix_ns)),
+            ("suffix_ns", ts_json(self.suffix_ns)),
+            ("efficiency", Json::from(self.efficiency)),
+            (
+                "mb_scales",
+                Json::Arr(self.mb_scales.iter().map(|&s| Json::from(s)).collect()),
+            ),
+            ("ef", ts_arr(&self.ef)),
+            ("eb", ts_arr(&self.eb)),
+            (
+                "placements",
+                Json::Arr(self.placements.iter().map(|p| p.to_json()).collect()),
+            ),
+            (
+                "blocks",
+                Json::Arr(self.blocks.iter().map(|b| b.to_json()).collect()),
+            ),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Result<SavedSchedule, JsonError> {
+        let ts_vec = |v: &Json| -> Result<Vec<Ts>, JsonError> {
+            v.as_arr()?.iter().map(|t| t.as_i64()).collect()
+        };
+        Ok(SavedSchedule {
+            version: v.field("version")?.as_u32()?,
+            model: v.field("model")?.as_str()?.to_string(),
+            num_gpus: v.field("num_gpus")?.as_u32()?,
+            global_batch: v.field("global_batch")?.as_u32()?,
+            microbatch_size: v.field("microbatch_size")?.as_u32()?,
+            llm_plan: plan_from(v.field("llm_plan")?)?,
+            enc_plan: plan_from(v.field("enc_plan")?)?,
+            partition: v
+                .field("partition")?
+                .as_arr()?
+                .iter()
+                .map(|p| p.as_u32())
+                .collect::<Result<_, _>>()?,
+            latency_ns: v.field("latency_ns")?.as_i64()?,
+            prefix_ns: v.field("prefix_ns")?.as_i64()?,
+            suffix_ns: v.field("suffix_ns")?.as_i64()?,
+            efficiency: v.field("efficiency")?.as_f64()?,
+            mb_scales: v
+                .field("mb_scales")?
+                .as_arr()?
+                .iter()
+                .map(|s| s.as_f64())
+                .collect::<Result<_, _>>()?,
+            ef: ts_vec(v.field("ef")?)?,
+            eb: ts_vec(v.field("eb")?)?,
+            placements: v
+                .field("placements")?
+                .as_arr()?
+                .iter()
+                .map(PlacementDto::from_json)
+                .collect::<Result<_, _>>()?,
+            blocks: v
+                .field("blocks")?
+                .as_arr()?
+                .iter()
+                .map(BlockDto::from_json)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+
     /// Writes the schedule as JSON.
     pub fn save<W: Write>(&self, mut out: W) -> Result<(), OptimusError> {
-        let json = serde_json::to_string_pretty(self)
-            .map_err(|e| OptimusError::Setup(format!("serialise: {e}")))?;
+        let json = self.to_json().to_pretty();
         out.write_all(json.as_bytes())
             .map_err(|e| OptimusError::Setup(format!("write: {e}")))
     }
@@ -205,8 +359,9 @@ impl SavedSchedule {
         input
             .read_to_string(&mut buf)
             .map_err(|e| OptimusError::Setup(format!("read: {e}")))?;
-        let saved: SavedSchedule =
-            serde_json::from_str(&buf).map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
+        let doc = Json::parse(&buf).map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
+        let saved = SavedSchedule::from_json(&doc)
+            .map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
         if saved.version != FORMAT_VERSION {
             return Err(OptimusError::Setup(format!(
                 "schedule format v{} unsupported (expected v{FORMAT_VERSION})",
@@ -306,7 +461,7 @@ impl SavedSchedule {
                     end: b.end,
                     compute_work: b.compute_work,
                     microbatches: b.microbatches,
-                    dir: b.dir.into(),
+                    dir: b.dir,
                 })
                 .collect(),
             placements: self
@@ -316,7 +471,7 @@ impl SavedSchedule {
                     pipeline: p.pipeline,
                     enc_stage: p.enc_stage,
                     microbatch: p.microbatch,
-                    dir: p.dir.into(),
+                    dir: p.dir,
                     llm_stage: p.llm_stage,
                     start: p.start,
                     end: p.end,

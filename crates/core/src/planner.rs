@@ -1,12 +1,23 @@
 //! The model planner (§4.1): fixes the LLM plan, enumerates candidate
 //! encoder plans under the divisibility constraints, and prunes those that
-//! exceed GPU memory.
+//! exceed GPU memory — plus the parallel search engine that evaluates the
+//! surviving candidates.
+//!
+//! The search engine fans candidates out across `std::thread::scope`
+//! workers with atomic work-claiming, then reduces all results by a total
+//! order — (latency, plan tuple, candidate index) — so the selected plan is
+//! bit-identical to a sequential sweep regardless of worker count or
+//! claiming interleave.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use optimus_modeling::Workload;
 use optimus_parallel::{enumerate_encoder_plans, ColocationLayout, ParallelPlan};
 
 use crate::error::OptimusError;
 use crate::memory::optimus_memory;
+use crate::scheduler::ScheduleOutcome;
 
 /// One memory-feasible encoder plan candidate.
 #[derive(Debug, Clone)]
@@ -86,6 +97,274 @@ pub fn plan_model(
     })
 }
 
+/// Result of evaluating one encoder candidate.
+#[derive(Debug, Clone)]
+pub enum CandidateVerdict {
+    /// The encoder work could not be built for this plan; the candidate is
+    /// skipped without counting as evaluated.
+    BuildFailed,
+    /// The scheduler ran but found no feasible schedule.
+    Infeasible,
+    /// A feasible schedule.
+    Feasible(ScheduleOutcome),
+}
+
+/// Wall-clock accounting for one search worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerTiming {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// Work items this worker claimed and evaluated.
+    pub candidates: usize,
+    /// Time the worker spent evaluating (excludes spawn/join overhead).
+    pub busy: Duration,
+}
+
+/// Timing and outcome counters from one parallel plan search.
+#[derive(Debug, Clone)]
+pub struct SearchStats {
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total candidates offered to the search.
+    pub candidates: usize,
+    /// Independent work items fanned out (≥ `candidates` when candidate
+    /// partition spaces are split into chunks).
+    pub work_items: usize,
+    /// Candidates whose encoder work built (a scheduler actually ran).
+    pub evaluated: usize,
+    /// Candidates that produced a feasible schedule.
+    pub feasible: usize,
+    /// Wall-clock time of the whole fan-out/reduce.
+    pub wall: Duration,
+    /// Per-worker breakdown, ordered by worker index.
+    pub per_worker: Vec<WorkerTiming>,
+}
+
+impl SearchStats {
+    /// Candidates evaluated per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.candidates as f64 / secs
+    }
+
+    /// Sum of worker busy time (≈ sequential cost of the same sweep).
+    pub fn busy_total(&self) -> Duration {
+        self.per_worker.iter().map(|t| t.busy).sum()
+    }
+}
+
+/// Outcome of a plan search: the winning candidate (if any) plus stats.
+#[derive(Debug, Clone)]
+pub struct PlanSearch {
+    /// `(candidate index, outcome)` of the best feasible schedule under the
+    /// total order (latency, plan tuple, index); `None` when no candidate
+    /// was feasible.
+    pub best: Option<(usize, ScheduleOutcome)>,
+    /// Search accounting.
+    pub stats: SearchStats,
+}
+
+/// Resolves a worker-count knob: `0` means one worker per available core.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Evaluates every candidate with `eval` across `workers` threads and
+/// reduces to the best feasible schedule.
+///
+/// Work items are claimed from a shared atomic counter, so workers stay
+/// busy regardless of per-candidate cost skew. `eval` must be a pure
+/// function of its arguments: it runs concurrently and its results are
+/// merged by candidate index afterwards.
+///
+/// Determinism contract: the reduction is a total order over *all* results
+/// — first by schedule latency, then by the encoder plan tuple
+/// `(pp, tp, dp, vpp)`, then by candidate index — and an `Err` from `eval`
+/// propagates as the error of the lowest-index failing candidate. Both are
+/// independent of thread interleaving, so the returned value is
+/// bit-identical for any worker count, including `workers == 1`.
+pub fn search_plans<F>(
+    candidates: &[EncoderCandidate],
+    workers: usize,
+    eval: F,
+) -> Result<PlanSearch, OptimusError>
+where
+    F: Fn(usize, &EncoderCandidate) -> Result<CandidateVerdict, OptimusError> + Sync,
+{
+    let chunks: Vec<SearchChunk> = (0..candidates.len())
+        .map(|i| SearchChunk {
+            candidate: i,
+            lo: 0,
+            hi: usize::MAX,
+        })
+        .collect();
+    search_plan_chunks(candidates, &chunks, workers, |c, cand| {
+        eval(c.candidate, cand)
+    })
+}
+
+/// One unit of plan-search work: the slice `lo..hi` of one candidate's
+/// partition enumeration (`hi = usize::MAX` means "the whole space").
+///
+/// Splitting a candidate's partition sweep into chunks bounds the cost of
+/// the largest work item, so a single expensive candidate no longer caps
+/// the parallel speedup of the whole search (its chunks spread across
+/// workers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchChunk {
+    /// Index into the candidate list.
+    pub candidate: usize,
+    /// First partition index covered by this item.
+    pub lo: usize,
+    /// One past the last partition index covered.
+    pub hi: usize,
+}
+
+/// Evaluates chunked work items across `workers` threads and reduces to
+/// the best feasible schedule.
+///
+/// Work items are claimed from a shared atomic counter, so workers stay
+/// busy regardless of per-item cost skew. `eval` must be a pure function
+/// of its arguments: it runs concurrently and its results are merged by
+/// `(candidate, lo)` afterwards.
+///
+/// Determinism contract: the reduction is a total order over *all*
+/// results — first by schedule latency, then by the encoder plan tuple
+/// `(pp, tp, dp, vpp)`, then by candidate index, then by chunk start — and
+/// an `Err` from `eval` propagates as the error of the least
+/// `(candidate, lo)` failing item. Both are independent of thread
+/// interleaving and of how the partition space is chunked, so the returned
+/// value is bit-identical for any worker count, including `workers == 1`.
+pub fn search_plan_chunks<F>(
+    candidates: &[EncoderCandidate],
+    chunks: &[SearchChunk],
+    workers: usize,
+    eval: F,
+) -> Result<PlanSearch, OptimusError>
+where
+    F: Fn(&SearchChunk, &EncoderCandidate) -> Result<CandidateVerdict, OptimusError> + Sync,
+{
+    let workers = resolve_workers(workers).min(chunks.len()).max(1);
+    let t_wall = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<WorkerTiming> = Vec::with_capacity(workers);
+    let mut results: Vec<(usize, Result<CandidateVerdict, OptimusError>)> =
+        Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let next = &next;
+                let eval = &eval;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= chunks.len() {
+                            break;
+                        }
+                        let chunk = &chunks[i];
+                        local.push((i, eval(chunk, &candidates[chunk.candidate])));
+                    }
+                    (
+                        WorkerTiming {
+                            worker,
+                            candidates: local.len(),
+                            busy: t0.elapsed(),
+                        },
+                        local,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (timing, local) = h.join().expect("plan-search worker panicked");
+            per_worker.push(timing);
+            results.extend(local);
+        }
+    });
+    per_worker.sort_by_key(|t| t.worker);
+    // Merge in (candidate, chunk start) order so error propagation and
+    // tie-breaking are independent of claiming interleave and of the order
+    // the caller listed the chunks in.
+    results.sort_by_key(|(i, _)| (chunks[*i].candidate, chunks[*i].lo));
+
+    let mut evaluated = vec![false; candidates.len()];
+    let mut feasible = vec![false; candidates.len()];
+    let mut best: Option<(usize, usize, ScheduleOutcome)> = None;
+    for (i, res) in results {
+        let cand = chunks[i].candidate;
+        match res? {
+            CandidateVerdict::BuildFailed => {}
+            CandidateVerdict::Infeasible => evaluated[cand] = true,
+            CandidateVerdict::Feasible(outcome) => {
+                evaluated[cand] = true;
+                feasible[cand] = true;
+                let better = match &best {
+                    None => true,
+                    Some((bc, blo, b)) => {
+                        let key = |c: usize, lo: usize, o: &ScheduleOutcome| {
+                            let p = candidates[c].plan;
+                            (o.latency, p.pp, p.tp, p.dp, p.vpp, c, lo)
+                        };
+                        key(cand, chunks[i].lo, &outcome) < key(*bc, *blo, b)
+                    }
+                };
+                if better {
+                    best = Some((cand, chunks[i].lo, outcome));
+                }
+            }
+        }
+    }
+    Ok(PlanSearch {
+        best: best.map(|(c, _, o)| (c, o)),
+        stats: SearchStats {
+            workers,
+            candidates: candidates.len(),
+            work_items: chunks.len(),
+            evaluated: evaluated.iter().filter(|&&b| b).count(),
+            feasible: feasible.iter().filter(|&&b| b).count(),
+            wall: t_wall.elapsed(),
+            per_worker,
+        },
+    })
+}
+
+/// Splits each candidate's partition enumeration into chunks of at most
+/// `chunk` partitions. `partition_count(i)` must return the exact length
+/// of candidate `i`'s enumeration (0 is treated as 1 so every candidate
+/// gets at least one work item and infeasibility is still reported).
+pub fn plan_chunks(
+    candidates: &[EncoderCandidate],
+    chunk: usize,
+    partition_count: impl Fn(usize) -> usize,
+) -> Vec<SearchChunk> {
+    let chunk = chunk.max(1);
+    let mut out = Vec::new();
+    for i in 0..candidates.len() {
+        let total = partition_count(i).max(1);
+        let mut lo = 0;
+        while lo < total {
+            let hi = (lo + chunk).min(total);
+            out.push(SearchChunk {
+                candidate: i,
+                lo,
+                hi,
+            });
+            lo = hi;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,5 +422,156 @@ mod tests {
         for c in &out.candidates {
             assert!(c.layout.pipelines_per_llm_pipeline() <= n_mb);
         }
+    }
+
+    use crate::profile::Ts;
+
+    fn outcome(latency: Ts) -> ScheduleOutcome {
+        ScheduleOutcome {
+            partition: vec![],
+            prefix: 0,
+            suffix: 0,
+            latency,
+            blocks: vec![],
+            placements: vec![],
+            ef: vec![],
+            eb: vec![],
+            in_bubble_compute: 0,
+            total_compute: 0,
+            relocated: (0, 0),
+            mb_scales: vec![],
+        }
+    }
+
+    fn model_d_candidates() -> Vec<EncoderCandidate> {
+        let w = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        let llm = ParallelPlan::with_vpp(8, 8, 8, 12).unwrap();
+        plan_model(&w, &llm, 200 << 30).unwrap().candidates
+    }
+
+    /// Deterministic synthetic latency with deliberate ties across plans.
+    fn fake_latency(p: &ParallelPlan) -> Ts {
+        Ts::from((p.pp * 31 + p.tp * 7 + p.dp) % 5 + 100)
+    }
+
+    #[test]
+    fn search_is_worker_count_invariant() {
+        let cands = model_d_candidates();
+        assert!(cands.len() >= 4, "want a non-trivial candidate pool");
+        let eval = |_: usize, c: &EncoderCandidate| {
+            Ok(CandidateVerdict::Feasible(outcome(fake_latency(&c.plan))))
+        };
+        let base = search_plans(&cands, 1, eval).unwrap();
+        let (bi, bo) = base.best.expect("feasible");
+        for workers in [2usize, 3, 8, 32] {
+            let run = search_plans(&cands, workers, eval).unwrap();
+            let (i, o) = run.best.expect("feasible");
+            assert_eq!(i, bi, "workers={workers}");
+            assert_eq!(o.latency, bo.latency);
+            assert_eq!(run.stats.evaluated, base.stats.evaluated);
+            assert_eq!(run.stats.feasible, base.stats.feasible);
+            assert_eq!(run.stats.candidates, cands.len());
+            assert_eq!(run.stats.workers, workers.min(cands.len()));
+            let claimed: usize = run.stats.per_worker.iter().map(|t| t.candidates).sum();
+            assert_eq!(claimed, cands.len());
+        }
+    }
+
+    #[test]
+    fn search_breaks_latency_ties_by_plan_tuple() {
+        let cands = model_d_candidates();
+        let eval = |_: usize, _: &EncoderCandidate| Ok(CandidateVerdict::Feasible(outcome(42)));
+        let run = search_plans(&cands, 4, eval).unwrap();
+        let (i, _) = run.best.unwrap();
+        let key = |p: &ParallelPlan| (p.pp, p.tp, p.dp, p.vpp);
+        let min = cands.iter().map(|c| key(&c.plan)).min().unwrap();
+        assert_eq!(key(&cands[i].plan), min);
+    }
+
+    #[test]
+    fn search_propagates_lowest_index_error() {
+        let cands = model_d_candidates();
+        assert!(cands.len() >= 4);
+        let eval = |i: usize, _: &EncoderCandidate| {
+            if i == 1 || i == 3 {
+                Err(OptimusError::Infeasible(format!("boom {i}")))
+            } else {
+                Ok(CandidateVerdict::Feasible(outcome(1)))
+            }
+        };
+        for workers in [1usize, 2, 8] {
+            let err = search_plans(&cands, workers, eval).unwrap_err();
+            assert!(
+                err.to_string().contains("boom 1"),
+                "workers={workers}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn search_counts_verdicts() {
+        let cands = model_d_candidates();
+        let eval = |i: usize, _: &EncoderCandidate| {
+            Ok(match i % 3 {
+                0 => CandidateVerdict::BuildFailed,
+                1 => CandidateVerdict::Infeasible,
+                _ => CandidateVerdict::Feasible(outcome(Ts::try_from(i).unwrap())),
+            })
+        };
+        let run = search_plans(&cands, 4, eval).unwrap();
+        let n = cands.len();
+        let built = (0..n).filter(|i| i % 3 != 0).count();
+        let feas = (0..n).filter(|i| i % 3 == 2).count();
+        assert_eq!(run.stats.evaluated, built);
+        assert_eq!(run.stats.feasible, feas);
+        // Lowest feasible index wins: all latencies distinct, index 2 is
+        // the smallest.
+        assert_eq!(run.best.unwrap().0, 2);
+    }
+
+    #[test]
+    fn chunked_search_matches_unchunked() {
+        let cands = model_d_candidates();
+        // Synthetic partition space: candidate i has (i % 5) + 1 partitions
+        // and each (candidate, partition) pair maps to a fixed latency with
+        // deliberate cross-candidate ties.
+        let n_parts = |i: usize| (i % 5) + 1;
+        let lat = |i: usize, p: usize| Ts::try_from((i * 7 + p * 3) % 11 + 1).unwrap();
+        let eval_chunk = |c: &SearchChunk, _: &EncoderCandidate| {
+            let hi = c.hi.min(n_parts(c.candidate));
+            Ok(match (c.lo..hi).map(|p| lat(c.candidate, p)).min() {
+                Some(l) => CandidateVerdict::Feasible(outcome(l)),
+                None => CandidateVerdict::Infeasible,
+            })
+        };
+        let full: Vec<SearchChunk> = (0..cands.len())
+            .map(|i| SearchChunk {
+                candidate: i,
+                lo: 0,
+                hi: usize::MAX,
+            })
+            .collect();
+        let base = search_plan_chunks(&cands, &full, 1, eval_chunk).unwrap();
+        let (bi, bo) = base.best.expect("feasible");
+        for chunk_size in [1usize, 2, 3] {
+            for workers in [1usize, 4, 16] {
+                let chunks = plan_chunks(&cands, chunk_size, n_parts);
+                assert!(chunks.len() > cands.len());
+                let run = search_plan_chunks(&cands, &chunks, workers, eval_chunk).unwrap();
+                let (i, o) = run.best.expect("feasible");
+                assert_eq!(i, bi, "chunk={chunk_size} workers={workers}");
+                assert_eq!(o.latency, bo.latency);
+                assert_eq!(run.stats.evaluated, base.stats.evaluated);
+                assert_eq!(run.stats.feasible, base.stats.feasible);
+                assert_eq!(run.stats.work_items, chunks.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_candidate_list_yields_no_best() {
+        let run = search_plans(&[], 4, |_, _| Ok(CandidateVerdict::Feasible(outcome(1)))).unwrap();
+        assert!(run.best.is_none());
+        assert_eq!(run.stats.candidates, 0);
     }
 }

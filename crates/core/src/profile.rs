@@ -358,7 +358,7 @@ mod tests {
         for d in &p.devices {
             for b in &d.interior {
                 assert!(b.start >= d.leading_end && b.end <= d.trailing_start);
-                assert!(b.len() > 0);
+                assert!(!b.is_empty());
             }
         }
     }
@@ -380,7 +380,7 @@ mod tests {
         // Windows lie within the LLM span and have positive length.
         for d in &p.devices {
             for w in &d.comm_windows {
-                assert!(w.len() > 0);
+                assert!(!w.is_empty());
                 assert!(w.start >= d.leading_end && w.end <= d.trailing_start);
             }
         }

@@ -14,6 +14,7 @@
 //! tolerant at a small cost in mean latency.
 
 use optimus_baselines::common::SystemContext;
+use optimus_detrand as rand;
 use optimus_modeling::Workload;
 use optimus_pipeline::lower;
 use optimus_sim::simulate;

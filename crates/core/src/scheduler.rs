@@ -126,6 +126,7 @@ impl ScheduleOutcome {
 /// Scales are drawn uniformly from `[1−spread, 1+spread]` and normalised to
 /// mean 1 so total encoder work matches the uniform case.
 pub fn sample_load_scales(n: u32, spread: f64, seed: u64) -> Vec<f64> {
+    use optimus_detrand as rand;
     use rand::{RngExt, SeedableRng};
     let spread = spread.clamp(0.0, 0.95);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -253,7 +254,7 @@ impl<'a> BubbleScheduler<'a> {
                 self.profile.n_microbatches()
             )));
         }
-        if scales.iter().any(|&s| !(s > 0.0) || !s.is_finite()) {
+        if scales.iter().any(|&s| s <= 0.0 || !s.is_finite()) {
             return Err(OptimusError::Setup(
                 "scales must be positive and finite".into(),
             ));
@@ -321,6 +322,9 @@ impl<'a> BubbleScheduler<'a> {
     }
 
     /// Coarse forward schedule of pipeline `j` for its first `n` microbatches.
+    // Explicit index loops keep the DP recurrences close to the paper's
+    // notation (stage k, microbatch i).
+    #[allow(clippy::needless_range_loop)]
     fn front_schedule(&self, partition: &[u32], j: u32, n: u32) -> FrontResult {
         let k_n = self.n_stages();
         if n == 0 {
@@ -610,6 +614,7 @@ impl<'a> BubbleScheduler<'a> {
 
     /// Schedules one microbatch partition (Algorithm 2 body). Returns `None`
     /// when the partition is structurally impossible.
+    #[allow(clippy::needless_range_loop)]
     pub fn schedule_partition(&self, partition: &[u32], fine: bool) -> Option<ScheduleOutcome> {
         let m = self.layout.pipelines_per_llm_pipeline();
         if partition.len() != m as usize
@@ -930,7 +935,13 @@ impl<'a> BubbleScheduler<'a> {
     /// deterministic seeded-random sample (the paper enumerates all
     /// `O(N_mb^{m-1})` options; at large `m` that is intractable and the
     /// balanced region contains the optimum in practice).
-    fn candidate_partitions(&self, max_partitions: usize) -> Result<Vec<Vec<u32>>, OptimusError> {
+    /// The enumeration is pure and deterministic, so parallel search
+    /// workers can recompute it per work item and slice into it by index.
+    pub fn candidate_partitions(
+        &self,
+        max_partitions: usize,
+    ) -> Result<Vec<Vec<u32>>, OptimusError> {
+        use optimus_detrand as rand;
         use rand::{RngExt, SeedableRng};
         let m = self.layout.pipelines_per_llm_pipeline();
         let n_mb = self.profile.n_microbatches();
@@ -971,16 +982,13 @@ impl<'a> BubbleScheduler<'a> {
         Ok(out)
     }
 
-    /// Algorithm 2 outer loop: evaluates candidate microbatch partitions and
-    /// returns the schedule with the shortest latency.
-    pub fn schedule(
-        &self,
-        max_partitions: usize,
-        fine: bool,
-    ) -> Result<ScheduleOutcome, OptimusError> {
+    /// Best schedule over a slice of partitions; latency ties keep the
+    /// earliest partition in the slice, so concatenating slice results in
+    /// enumeration order reproduces a full sequential sweep exactly.
+    pub fn schedule_slice(&self, partitions: &[Vec<u32>], fine: bool) -> Option<ScheduleOutcome> {
         let mut best: Option<ScheduleOutcome> = None;
-        for partition in self.candidate_partitions(max_partitions)? {
-            if let Some(outcome) = self.schedule_partition(&partition, fine) {
+        for partition in partitions {
+            if let Some(outcome) = self.schedule_partition(partition, fine) {
                 if best
                     .as_ref()
                     .map(|b| outcome.latency < b.latency)
@@ -990,7 +998,19 @@ impl<'a> BubbleScheduler<'a> {
                 }
             }
         }
-        best.ok_or_else(|| OptimusError::Infeasible("no feasible bubble schedule".into()))
+        best
+    }
+
+    /// Algorithm 2 outer loop: evaluates candidate microbatch partitions and
+    /// returns the schedule with the shortest latency.
+    pub fn schedule(
+        &self,
+        max_partitions: usize,
+        fine: bool,
+    ) -> Result<ScheduleOutcome, OptimusError> {
+        let partitions = self.candidate_partitions(max_partitions)?;
+        self.schedule_slice(&partitions, fine)
+            .ok_or_else(|| OptimusError::Infeasible("no feasible bubble schedule".into()))
     }
 }
 

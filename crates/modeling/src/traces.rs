@@ -9,6 +9,7 @@
 //! assumption — so the generator's output is a per-microbatch load scale
 //! vector.
 
+use optimus_detrand as rand;
 use rand::{RngExt, SeedableRng};
 
 /// One image-resolution tier: a relative frequency and the visual-token

@@ -37,7 +37,10 @@ impl Workload {
     /// Returns `None` when the batch does not divide evenly.
     pub fn microbatches(&self, dp: u32) -> Option<u32> {
         let per_rank = self.global_batch.checked_div(dp)?;
-        if per_rank == 0 || self.global_batch % dp != 0 || per_rank % self.microbatch_size != 0 {
+        if per_rank == 0
+            || !self.global_batch.is_multiple_of(dp)
+            || per_rank % self.microbatch_size != 0
+        {
             return None;
         }
         Some(per_rank / self.microbatch_size)

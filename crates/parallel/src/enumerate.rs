@@ -12,7 +12,7 @@ pub fn divisors(n: u32) -> Vec<u32> {
     let mut out = Vec::new();
     let mut i = 1;
     while i * i <= n {
-        if n % i == 0 {
+        if n.is_multiple_of(i) {
             out.push(i);
             if i != n / i {
                 out.push(n / i);
@@ -29,7 +29,7 @@ pub fn divisors(n: u32) -> Vec<u32> {
 pub fn enumerate_plans(num_gpus: u32, gpus_per_node: u32, max_pp: u32) -> Vec<ParallelPlan> {
     let mut plans = Vec::new();
     for tp in divisors(num_gpus) {
-        if tp > gpus_per_node || gpus_per_node % tp != 0 {
+        if tp > gpus_per_node || !gpus_per_node.is_multiple_of(tp) {
             continue;
         }
         let rest = num_gpus / tp;

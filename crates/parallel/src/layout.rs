@@ -28,12 +28,12 @@ pub struct ColocationLayout {
 impl ColocationLayout {
     /// Builds the layout, validating the §4.1 divisibility constraints.
     pub fn new(llm: ParallelPlan, enc: ParallelPlan) -> Result<ColocationLayout, PlanError> {
-        if llm.pp % enc.pp != 0 {
+        if !llm.pp.is_multiple_of(enc.pp) {
             return Err(PlanError::IncompatibleEncoderPlan {
                 reason: format!("PP_enc={} does not divide PP_llm={}", enc.pp, llm.pp),
             });
         }
-        if llm.tp % enc.tp != 0 {
+        if !llm.tp.is_multiple_of(enc.tp) {
             return Err(PlanError::IncompatibleEncoderPlan {
                 reason: format!("TP_enc={} does not divide TP_llm={}", enc.tp, llm.tp),
             });

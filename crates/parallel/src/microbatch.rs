@@ -93,8 +93,8 @@ impl Iterator for Compositions {
                 let consumed: u32 = cur[..=idx].iter().sum();
                 let remaining = self.n - consumed;
                 let slots = (m - idx - 1) as u32;
-                for j in idx + 1..m {
-                    cur[j] = 1;
+                for c in &mut cur[idx + 1..m] {
+                    *c = 1;
                 }
                 cur[m - 1] = remaining - (slots - 1);
                 advanced = true;

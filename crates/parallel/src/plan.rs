@@ -65,7 +65,7 @@ impl ParallelPlan {
                 cluster: num_gpus,
             });
         }
-        if self.tp > gpus_per_node || gpus_per_node % self.tp != 0 {
+        if self.tp > gpus_per_node || !gpus_per_node.is_multiple_of(self.tp) {
             return Err(PlanError::TpSpansNodes {
                 tp: self.tp,
                 gpus_per_node,

@@ -24,6 +24,7 @@ pub struct BalancedPartition {
 
 /// Partitions `layer_times` into `stages` contiguous groups minimising the
 /// maximum group sum (Appendix B dynamic program).
+#[allow(clippy::needless_range_loop)] // DP table indices mirror the recurrence
 pub fn balance_layers(
     layer_times: &[DurNs],
     stages: u32,

@@ -55,7 +55,7 @@ impl BidirSpec {
                 reason: "pp must be >= 1".into(),
             });
         }
-        if self.n_microbatches == 0 || self.n_microbatches % 2 != 0 {
+        if self.n_microbatches == 0 || !self.n_microbatches.is_multiple_of(2) {
             return Err(PipelineError::BadSpec {
                 reason: format!(
                     "bidirectional needs an even microbatch count, got {}",

@@ -194,7 +194,7 @@ pub fn interleaved_1f1b(
     if vpp == 1 && warmup_reduction.is_none() {
         return one_f_one_b(pp, n_microbatches);
     }
-    if n_microbatches % pp != 0 {
+    if !n_microbatches.is_multiple_of(pp) {
         return Err(PipelineError::BadSchedule {
             reason: format!(
                 "interleaved schedule needs pp ({pp}) | n_microbatches ({n_microbatches})"

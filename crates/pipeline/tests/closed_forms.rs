@@ -6,12 +6,15 @@
 //!
 //! where t_f/t_b are the *per-rank* forward/backward times (split evenly
 //! across the V chunks in the interleaved case).
+//!
+//! Shapes are drawn from the in-repo deterministic PRNG so the suite needs
+//! no registry access and failures reproduce from the fixed seeds.
 
 use optimus_cluster::DurNs;
+use optimus_detrand::{rngs::StdRng, RngExt, SeedableRng};
 use optimus_pipeline::{
     gpipe, interleaved_1f1b, one_f_one_b, simulate_pipeline, PipelineSpec, StageSpec, TimedKernel,
 };
-use proptest::prelude::*;
 
 fn uniform_spec(pp: u32, vpp: u32, n: u32, tf_chunk: u64, tb_chunk: u64) -> PipelineSpec {
     let stage = StageSpec {
@@ -38,28 +41,45 @@ fn uniform_spec(pp: u32, vpp: u32, n: u32, tf_chunk: u64, tb_chunk: u64) -> Pipe
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn one_f_one_b_closed_form(pp in 1u32..7, k in 1u32..5, tf in 1u64..500, tb in 1u64..500) {
+#[test]
+fn one_f_one_b_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x1F1B);
+    for _ in 0..32 {
+        let pp = rng.random_range(1u32..7);
+        let k = rng.random_range(1u32..5);
+        let tf = rng.random_range(1u64..500);
+        let tb = rng.random_range(1u64..500);
         let n = pp * k;
         let spec = uniform_spec(pp, 1, n, tf, tb);
         let sched = one_f_one_b(pp, n).unwrap();
         let (_l, r) = simulate_pipeline(&spec, &sched, &[]).unwrap();
-        prop_assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
+        assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
     }
+}
 
-    #[test]
-    fn gpipe_closed_form(pp in 1u32..7, n in 1u32..12, tf in 1u64..500, tb in 1u64..500) {
+#[test]
+fn gpipe_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x6B1BE);
+    for _ in 0..32 {
+        let pp = rng.random_range(1u32..7);
+        let n = rng.random_range(1u32..12);
+        let tf = rng.random_range(1u64..500);
+        let tb = rng.random_range(1u64..500);
         let spec = uniform_spec(pp, 1, n, tf, tb);
         let sched = gpipe(pp, n).unwrap();
         let (_l, r) = simulate_pipeline(&spec, &sched, &[]).unwrap();
-        prop_assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
+        assert_eq!(r.makespan().0, u64::from(n + pp - 1) * (tf + tb));
     }
+}
 
-    #[test]
-    fn interleaved_closed_form(pp in 2u32..6, vpp in 2u32..4, k in 1u32..4, unit in 1u64..200) {
+#[test]
+fn interleaved_closed_form() {
+    let mut rng = StdRng::seed_from_u64(0x171E6);
+    for _ in 0..32 {
+        let pp = rng.random_range(2u32..6);
+        let vpp = rng.random_range(2u32..4);
+        let k = rng.random_range(1u32..4);
+        let unit = rng.random_range(1u64..200);
         // Per-chunk times chosen so per-rank totals divide evenly by vpp.
         let n = pp * k;
         let (tf_chunk, tb_chunk) = (unit, 2 * unit);
@@ -70,9 +90,10 @@ proptest! {
         let tf = u64::from(vpp) * tf_chunk;
         let tb = u64::from(vpp) * tb_chunk;
         let expect = u64::from(n) * (tf + tb) + u64::from(pp - 1) * (tf + tb) / u64::from(vpp);
-        prop_assert_eq!(
-            r.makespan().0, expect,
-            "pp={} vpp={} n={} unit={}", pp, vpp, n, unit
+        assert_eq!(
+            r.makespan().0,
+            expect,
+            "pp={pp} vpp={vpp} n={n} unit={unit}"
         );
     }
 }

@@ -2,22 +2,8 @@
 
 use std::io::Write;
 
+use optimus_json::Json;
 use optimus_sim::{SimResult, Stream, TaskGraph};
-use serde::Serialize;
-
-/// One complete-event in the Chrome trace format.
-#[derive(Serialize)]
-struct Event<'a> {
-    name: &'a str,
-    cat: &'static str,
-    ph: &'static str,
-    /// Microseconds.
-    ts: f64,
-    /// Microseconds.
-    dur: f64,
-    pid: u32,
-    tid: u32,
-}
 
 fn stream_tid(s: Stream) -> u32 {
     s.index() as u32
@@ -46,18 +32,17 @@ pub fn write_chrome_trace<W: Write>(
     let mut events = Vec::with_capacity(graph.len());
     for t in graph.tasks() {
         let span = result.span(t.id);
-        events.push(Event {
-            name: t.label,
-            cat: stream_cat(t.stream),
-            ph: "X",
-            ts: span.start.as_micros_f64(),
-            dur: span.duration().as_micros_f64(),
-            pid: t.device,
-            tid: stream_tid(t.stream),
-        });
+        events.push(Json::obj(vec![
+            ("name", Json::from(t.label)),
+            ("cat", Json::from(stream_cat(t.stream))),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(span.start.as_micros_f64())),
+            ("dur", Json::from(span.duration().as_micros_f64())),
+            ("pid", Json::from(t.device)),
+            ("tid", Json::from(stream_tid(t.stream))),
+        ]));
     }
-    let json = serde_json::to_string(&events)?;
-    out.write_all(json.as_bytes())
+    out.write_all(Json::Arr(events).to_compact().as_bytes())
 }
 
 #[cfg(test)]
@@ -88,10 +73,11 @@ mod tests {
         let r = simulate(&g).unwrap();
         let mut buf = Vec::new();
         write_chrome_trace(&g, &r, &mut buf).unwrap();
-        let parsed: serde_json::Value = serde_json::from_slice(&buf).unwrap();
-        let arr = parsed.as_array().unwrap();
+        let parsed = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_arr().unwrap();
         assert_eq!(arr.len(), 2);
-        assert_eq!(arr[0]["name"], "fwd");
-        assert_eq!(arr[1]["ts"], 1.0); // starts at 1 µs
+        assert_eq!(arr[0].field("name").unwrap().as_str().unwrap(), "fwd");
+        // The recv starts at 1 µs, after the 1000 ns fwd.
+        assert_eq!(arr[1].field("ts").unwrap().as_f64().unwrap(), 1.0);
     }
 }

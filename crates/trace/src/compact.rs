@@ -1,0 +1,110 @@
+//! Compact, diff-friendly timeline serialization for golden-trace
+//! regression tests.
+//!
+//! One line per executed task — `device stream label start dur` — sorted by
+//! a total order so the output is byte-stable across runs and platforms,
+//! plus a header carrying the makespan and task count. All times are
+//! integer nanoseconds: any behavioural change to the simulator, lowering,
+//! or cost models shows up as a textual diff.
+
+use optimus_sim::{SimResult, Stream, TaskGraph};
+
+fn stream_name(s: Stream) -> &'static str {
+    match s {
+        Stream::Compute => "compute",
+        Stream::TpComm => "tpcomm",
+        Stream::P2p => "p2p",
+        Stream::DpComm => "dpcomm",
+        Stream::EncP2p => "encp2p",
+    }
+}
+
+/// Serializes a simulated timeline into the canonical golden-trace text.
+///
+/// Lines are sorted by `(device, stream, start, end, label)`, which is a
+/// total order for any graph the simulator accepts (FIFO streams cannot
+/// run two identical spans of the same label concurrently on one device).
+pub fn compact_timeline(graph: &TaskGraph, result: &SimResult) -> String {
+    let mut lines: Vec<(u32, &'static str, u64, u64, &'static str)> = result
+        .spans()
+        .iter()
+        .map(|span| {
+            let task = graph.task(span.task);
+            (
+                task.device,
+                stream_name(task.stream),
+                span.start.0,
+                span.end.0,
+                task.label,
+            )
+        })
+        .collect();
+    lines.sort_unstable();
+    let mut out = format!(
+        "# makespan_ns {} tasks {} devices {}\n",
+        result.makespan().0,
+        lines.len(),
+        graph.num_devices()
+    );
+    for (device, stream, start, end, label) in lines {
+        out.push_str(&format!(
+            "{device} {stream} {label} {start} {}\n",
+            end - start
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_cluster::DurNs;
+    use optimus_sim::{simulate, TaskGraph, TaskKind};
+
+    fn tiny() -> (TaskGraph, SimResult) {
+        let mut g = TaskGraph::new(2);
+        let a = g.push(
+            "fwd",
+            0,
+            Stream::Compute,
+            DurNs(10),
+            TaskKind::Generic,
+            vec![],
+        );
+        let b = g.push("xfer", 0, Stream::P2p, DurNs(5), TaskKind::Generic, vec![a]);
+        g.push(
+            "fwd",
+            1,
+            Stream::Compute,
+            DurNs(7),
+            TaskKind::Generic,
+            vec![b],
+        );
+        let r = simulate(&g).unwrap();
+        (g, r)
+    }
+
+    #[test]
+    fn serializes_sorted_and_complete() {
+        let (g, r) = tiny();
+        let s = compact_timeline(&g, &r);
+        let mut lines = s.lines();
+        assert_eq!(lines.next().unwrap(), "# makespan_ns 22 tasks 3 devices 2");
+        let rest: Vec<&str> = lines.collect();
+        assert_eq!(
+            rest,
+            vec![
+                "0 compute fwd 0 10",
+                "0 p2p xfer 10 5",
+                "1 compute fwd 15 7"
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_runs_serialize_identically() {
+        let (g, r1) = tiny();
+        let r2 = simulate(&g).unwrap();
+        assert_eq!(compact_timeline(&g, &r1), compact_timeline(&g, &r2));
+    }
+}

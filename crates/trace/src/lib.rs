@@ -20,8 +20,10 @@
 
 pub mod ascii;
 pub mod chrome;
+pub mod compact;
 pub mod stats;
 
 pub use ascii::render_timeline;
 pub use chrome::write_chrome_trace;
-pub use stats::{bubble_table, TextTable};
+pub use compact::compact_timeline;
+pub use stats::{bubble_table, planner_search_table, SearchTiming, TextTable};

@@ -31,6 +31,56 @@ pub fn bubble_table(bd: &BubbleBreakdown) -> String {
     out
 }
 
+/// Per-worker timing of one planner search.
+///
+/// A crate-agnostic mirror of the core planner's per-worker stats so bench
+/// binaries can render throughput tables without a trace→core dependency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchTiming {
+    /// Worker index.
+    pub worker: usize,
+    /// Work items the worker claimed.
+    pub candidates: usize,
+    /// Busy time in microseconds.
+    pub busy_us: f64,
+}
+
+/// Renders a planner-search timing report: one row per worker plus a
+/// throughput/utilisation summary line.
+pub fn planner_search_table(
+    candidates: usize,
+    wall_us: f64,
+    per_worker: &[SearchTiming],
+) -> String {
+    let mut t = TextTable::new(vec!["Worker", "Items", "Busy (ms)", "Util"]);
+    for w in per_worker {
+        t.row(vec![
+            w.worker.to_string(),
+            w.candidates.to_string(),
+            format!("{:.2}", w.busy_us / 1e3),
+            if wall_us > 0.0 {
+                format!("{:.0}%", 100.0 * w.busy_us / wall_us)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    let mut out = t.render();
+    let throughput = if wall_us > 0.0 {
+        candidates as f64 / (wall_us / 1e6)
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{} candidates in {:.2} ms over {} workers ({:.1} candidates/s)\n",
+        candidates,
+        wall_us / 1e3,
+        per_worker.len(),
+        throughput
+    ));
+    out
+}
+
 /// A minimal fixed-width table builder for experiment output.
 #[derive(Debug, Default, Clone)]
 pub struct TextTable {
@@ -110,5 +160,32 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn search_table_reports_throughput() {
+        let timings = [
+            SearchTiming {
+                worker: 0,
+                candidates: 3,
+                busy_us: 900.0,
+            },
+            SearchTiming {
+                worker: 1,
+                candidates: 2,
+                busy_us: 850.0,
+            },
+        ];
+        let s = planner_search_table(5, 1000.0, &timings);
+        assert!(s.contains("5 candidates in 1.00 ms over 2 workers"));
+        assert!(s.contains("5000.0 candidates/s"));
+        assert!(s.contains("90%"));
+    }
+
+    #[test]
+    fn search_table_handles_zero_wall() {
+        let s = planner_search_table(0, 0.0, &[]);
+        assert!(s.contains("0 candidates"));
+        assert!(s.contains("0.0 candidates/s"));
     }
 }

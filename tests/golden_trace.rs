@@ -1,0 +1,119 @@
+//! Golden-trace regression tests: simulator timelines for small fixed
+//! configs are serialized with `optimus::trace::compact_timeline` and
+//! compared byte-for-byte against checked-in references in `tests/golden/`.
+//!
+//! Any intentional change to the simulator, lowering, or cost models will
+//! fail these tests with a textual diff; regenerate the references with
+//!
+//! ```text
+//! OPTIMUS_REGEN_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use std::path::PathBuf;
+
+use optimus::baselines::common::SystemContext;
+use optimus::baselines::{megatron_balanced, megatron_lm};
+use optimus::cluster::DurNs;
+use optimus::modeling::Workload;
+use optimus::pipeline::{gpipe, simulate_pipeline, PipelineSpec, StageSpec, TimedKernel};
+use optimus::sim::{SimResult, TaskGraph};
+use optimus::trace::compact_timeline;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, graph: &TaskGraph, result: &SimResult) {
+    let actual = compact_timeline(graph, result);
+    let path = golden_path(name);
+    if std::env::var_os("OPTIMUS_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden trace");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {}: {e}\n\
+             regenerate with OPTIMUS_REGEN_GOLDEN=1 cargo test --test golden_trace",
+            path.display()
+        )
+    });
+    if actual != expected {
+        let diff: Vec<String> = expected
+            .lines()
+            .zip(actual.lines())
+            .enumerate()
+            .filter(|(_, (e, a))| e != a)
+            .take(8)
+            .map(|(i, (e, a))| format!("  line {}: golden `{e}` vs actual `{a}`", i + 1))
+            .collect();
+        panic!(
+            "timeline diverged from golden trace {} \
+             ({} golden lines, {} actual lines):\n{}\n\
+             if the change is intentional, regenerate with \
+             OPTIMUS_REGEN_GOLDEN=1 cargo test --test golden_trace",
+            path.display(),
+            expected.lines().count(),
+            actual.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
+
+/// Batch 4 on 8 GPUs keeps the golden files small while still exercising
+/// every stream (compute, TP, P2P, DP) of the lowered 1F1B pipeline.
+fn small_workload() -> Workload {
+    Workload::new(optimus::modeling::MllmConfig::small(), 8, 4, 1)
+}
+
+#[test]
+fn megatron_1f1b_small_matches_golden() {
+    let w = small_workload();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    check_golden("megatron_1f1b_small.txt", &run.lowered.graph, &run.result);
+}
+
+#[test]
+fn megatron_balanced_small_matches_golden() {
+    let w = small_workload();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_balanced(&w, (2, 2, 2), 2, &ctx).unwrap();
+    check_golden(
+        "megatron_balanced_small.txt",
+        &run.lowered.graph,
+        &run.result,
+    );
+}
+
+#[test]
+fn gpipe_uniform_matches_golden() {
+    let stage = StageSpec {
+        fwd: vec![TimedKernel {
+            label: "f",
+            dur: DurNs(1200),
+            comm: false,
+        }],
+        bwd: vec![TimedKernel {
+            label: "b",
+            dur: DurNs(2400),
+            comm: false,
+        }],
+        ..StageSpec::default()
+    };
+    let spec = PipelineSpec {
+        pp: 4,
+        vpp: 1,
+        n_microbatches: 8,
+        stages: vec![stage; 4],
+        dp_allgather: DurNs(300),
+        dp_reducescatter: DurNs(500),
+        p2p: DurNs(50),
+    };
+    let sched = gpipe(4, 8).unwrap();
+    let (lowered, result) = simulate_pipeline(&spec, &sched, &[]).unwrap();
+    check_golden("gpipe_uniform.txt", &lowered.graph, &result);
+}
