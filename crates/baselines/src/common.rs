@@ -56,6 +56,16 @@ impl SystemContext {
         }
     }
 
+    /// Context rebound to a different topology (e.g. one with degraded
+    /// links from a fault model), with a fresh communication cost model —
+    /// the memo cache of the original must not leak stale link prices.
+    pub fn with_topology(&self, topo: ClusterTopology) -> SystemContext {
+        SystemContext {
+            comm: self.comm.with_topology(topo.clone()),
+            topo,
+        }
+    }
+
     /// A tensor-parallel group of `tp` adjacent GPUs (always intra-node by
     /// plan validation).
     pub fn tp_group(&self, tp: u32) -> Result<ProcessGroup, BaselineError> {

@@ -15,6 +15,7 @@ use optimus_modeling::{MllmConfig, Workload};
 use optimus_parallel::{ColocationLayout, ParallelPlan};
 use optimus_pipeline::balance_layers;
 use optimus_sim::{simulate, Stream, TaskGraph, TaskKind};
+use optimus_trace::quantile;
 
 /// Times `f` over `batches` batches of `iters` iterations; reports the
 /// median per-iteration time in microseconds.
@@ -34,7 +35,7 @@ fn bench<F: FnMut()>(name: &str, batches: usize, iters: usize, mut f: F) {
     per_iter_us.sort_by(f64::total_cmp);
     println!(
         "{name:<44} {:>12.2} µs/iter (median of {batches}×{iters})",
-        per_iter_us[per_iter_us.len() / 2]
+        quantile(&per_iter_us, 0.5)
     );
 }
 

@@ -1,0 +1,29 @@
+//! Fault injection + adaptive re-planning resilience sweep.
+//!
+//! Pass `--smoke` to run only the two headline scenarios (straggler,
+//! degraded NVLink) — the CI configuration. In smoke mode the bin also
+//! asserts that adaptation never loses latency and that the drift monitor
+//! tripped a re-plan for both scenarios.
+
+use optimus_bench::experiments::resilience;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (report, rows) = resilience::run(smoke);
+    println!("{report}");
+    if smoke {
+        for r in &rows {
+            assert!(
+                r.report.adaptive_secs <= r.report.static_secs + 1e-12,
+                "{}: adaptation lost latency",
+                r.scenario
+            );
+            assert!(
+                r.report.replanned,
+                "{}: drift monitor failed to trip a re-plan",
+                r.scenario
+            );
+        }
+        eprintln!("smoke assertions passed ({} scenarios)", rows.len());
+    }
+}

@@ -17,6 +17,7 @@ fn main() {
         ("Figure 17", Box::new(|| ex::fig17::run().0)),
         ("Table 7", Box::new(|| ex::table7::run().0)),
         ("Planner scaling", Box::new(|| ex::planner_scaling::run().0)),
+        ("Resilience", Box::new(|| ex::resilience::run(false).0)),
         ("Ablations", Box::new(|| ex::ablations::run().0)),
         (
             "Zero-bubble extension",

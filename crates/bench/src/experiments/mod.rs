@@ -11,6 +11,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig3;
 pub mod planner_scaling;
+pub mod resilience;
 pub mod table1;
 pub mod table4;
 pub mod table5;

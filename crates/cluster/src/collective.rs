@@ -136,6 +136,18 @@ impl CommCostModel {
         &self.topo
     }
 
+    /// Rebinds the model to a different topology (e.g. one with degraded
+    /// links), preserving the straggler factor but starting from an empty
+    /// memo table: cached entries are keyed by link *class* only, so entries
+    /// priced against the old link profiles must not leak into the new model.
+    pub fn with_topology(&self, topo: ClusterTopology) -> CommCostModel {
+        CommCostModel {
+            topo,
+            straggler_factor: self.straggler_factor,
+            cache: Arc::new(CollectiveCostCache::default()),
+        }
+    }
+
     /// Hit/miss counters of the collective memo table.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
@@ -377,6 +389,23 @@ mod tests {
         let entries = m.cache_len() as u64;
         assert!(entries <= 96 && stats.misses >= entries, "{stats:?}");
         assert!(stats.hits >= 768 - stats.misses);
+    }
+
+    #[test]
+    fn rebinding_topology_starts_a_fresh_cache() {
+        let m = model(16);
+        let g = ProcessGroup::contiguous(0, 8).unwrap();
+        let base = m.collective_time(CollectiveKind::AllGather, 1 << 26, &g);
+        // Halve NVLink bandwidth; the same query must be re-priced, not
+        // served from the old model's memo table.
+        let degraded = m
+            .topology()
+            .with_link_profile(LinkClass::NvLink, m.topology().nvlink.degraded(0.5, 1.0));
+        let m2 = m.with_topology(degraded);
+        assert_eq!(m2.cache_stats(), CacheStats::default());
+        let slow = m2.collective_time(CollectiveKind::AllGather, 1 << 26, &g);
+        assert!(slow > base, "degraded {slow} vs {base}");
+        assert_eq!(m2.straggler_factor, m.straggler_factor);
     }
 
     #[test]

@@ -36,6 +36,18 @@ pub struct LinkProfile {
     pub latency: f64,
 }
 
+impl LinkProfile {
+    /// This profile with its bandwidth multiplied by `bandwidth_factor`
+    /// (`(0, 1]` — lane failures, congestion) and its latency multiplied by
+    /// `latency_factor` (`>= 1`) — how fault injection models a sick link.
+    pub fn degraded(self, bandwidth_factor: f64, latency_factor: f64) -> LinkProfile {
+        LinkProfile {
+            bandwidth: self.bandwidth * bandwidth_factor,
+            latency: self.latency * latency_factor,
+        }
+    }
+}
+
 /// Description of the whole training cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ClusterTopology {
@@ -144,6 +156,19 @@ impl ClusterTopology {
             LinkClass::NvLink => self.nvlink,
             LinkClass::Rdma => self.rdma,
         }
+    }
+
+    /// This topology with the profile of one link class replaced — used to
+    /// build the degraded topology a fault-aware re-planner prices against.
+    /// Replacing `Loopback` is a no-op (loopback is always free).
+    pub fn with_link_profile(&self, class: LinkClass, profile: LinkProfile) -> ClusterTopology {
+        let mut t = self.clone();
+        match class {
+            LinkClass::Loopback => {}
+            LinkClass::NvLink => t.nvlink = profile,
+            LinkClass::Rdma => t.rdma = profile,
+        }
+        t
     }
 
     /// Validates that a device id belongs to this cluster.

@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod encoder;
 pub mod error;
 pub mod memory;
@@ -43,6 +44,7 @@ pub mod robustness;
 pub mod scheduler;
 pub mod verify;
 
+pub use adaptive::{fault_annotations, resilience_study, ResilienceReport};
 pub use encoder::{EncKernel, EncoderStageWork, EncoderWork};
 pub use error::OptimusError;
 pub use memory::{colocated_model_state_bytes, colocation_overhead_bytes, optimus_memory};
@@ -53,7 +55,7 @@ pub use planner::{
     EncoderCandidate, PlanSearch, PlannerOutput, SearchChunk, SearchStats, WorkerTiming,
 };
 pub use profile::{DeviceProfile, FreeInterval, LlmProfile, LlmScheduleKind, Ts};
-pub use robustness::{drift_study, jitter_study, DriftReport, RobustnessReport};
+pub use robustness::{drift_study, jitter_study, perturb_uniform, DriftReport, RobustnessReport};
 pub use scheduler::{
     sample_load_scales, BubbleScheduler, CoarseBlock, KernelPlacement, ScheduleOutcome,
 };

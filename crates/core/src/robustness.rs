@@ -14,16 +14,19 @@
 //! tolerant at a small cost in mean latency.
 
 use optimus_baselines::common::SystemContext;
-use optimus_detrand as rand;
 use optimus_modeling::Workload;
 use optimus_pipeline::lower;
 use optimus_sim::simulate;
-use rand::{RngExt, SeedableRng};
+use optimus_trace::quantile;
 
 use crate::error::OptimusError;
 use crate::optimus::{run_optimus, OptimusConfig, OptimusRun};
 use crate::verify::build_schedule_inserts;
 use optimus_sim::TaskKind;
+
+/// The uniform-jitter perturbation, re-exported from `optimus-faults` — the
+/// one perturbation code path shared by this study and fault injection.
+pub use optimus_faults::perturb_uniform;
 
 /// Latency distribution of a schedule under duration jitter.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,6 +39,8 @@ pub struct RobustnessReport {
     pub p50_secs: f64,
     /// 95th-percentile perturbed latency.
     pub p95_secs: f64,
+    /// 99th-percentile perturbed latency.
+    pub p99_secs: f64,
     /// Worst observed latency.
     pub max_secs: f64,
     /// Number of perturbed re-simulations.
@@ -51,6 +56,11 @@ impl RobustnessReport {
     /// Tail (p95) latency inflation.
     pub fn p95_inflation(&self) -> f64 {
         self.p95_secs / self.baseline_secs - 1.0
+    }
+
+    /// Extreme-tail (p99) latency inflation.
+    pub fn p99_inflation(&self) -> f64 {
+        self.p99_secs / self.baseline_secs - 1.0
     }
 }
 
@@ -84,20 +94,18 @@ pub fn jitter_study(
 
     let mut latencies = Vec::with_capacity(samples);
     for seed in 0..samples as u64 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB0B_B1E5 ^ seed);
-        let jittered = lowered
-            .graph
-            .with_scaled_durations(|_| 1.0 + rng.random_range(-jitter..=jitter));
+        let jittered = perturb_uniform(&lowered.graph, jitter, 0xB0B_B1E5 ^ seed)
+            .map_err(|e| OptimusError::Setup(e.to_string()))?;
         let r = simulate(&jittered).map_err(|e| OptimusError::Substrate(e.to_string()))?;
         latencies.push(r.makespan().as_secs_f64());
     }
     latencies.sort_by(f64::total_cmp);
-    let pick = |q: f64| latencies[((latencies.len() - 1) as f64 * q).round() as usize];
     Ok(RobustnessReport {
         jitter,
         baseline_secs: baseline,
-        p50_secs: pick(0.5),
-        p95_secs: pick(0.95),
+        p50_secs: quantile(&latencies, 0.5),
+        p95_secs: quantile(&latencies, 0.95),
+        p99_secs: quantile(&latencies, 0.99),
         max_secs: *latencies.last().unwrap_or(&baseline),
         samples,
     })
@@ -236,7 +244,9 @@ mod tests {
             "p95 inflation {}",
             rep.p95_inflation()
         );
-        assert!(rep.p50_secs <= rep.p95_secs && rep.p95_secs <= rep.max_secs);
+        assert!(rep.p50_secs <= rep.p95_secs && rep.p95_secs <= rep.p99_secs);
+        assert!(rep.p99_secs <= rep.max_secs);
+        assert!(rep.p99_inflation() >= rep.p95_inflation() - 1e-12);
     }
 
     #[test]

@@ -1,0 +1,24 @@
+//! Error type of the fault-injection subsystem.
+
+use std::fmt;
+
+/// Errors raised while building or applying a fault model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultError {
+    /// A scenario's parameters are out of range.
+    Invalid(String),
+    /// The underlying simulation failed (e.g. while timing the unperturbed
+    /// step for fail-stop targeting).
+    Sim(String),
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultError::Invalid(msg) => write!(f, "invalid fault scenario: {msg}"),
+            FaultError::Sim(msg) => write!(f, "fault injection simulation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}

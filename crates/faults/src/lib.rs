@@ -1,0 +1,52 @@
+//! Deterministic fault injection and drift monitoring for simulated
+//! training steps.
+//!
+//! The paper builds schedules from offline profiles and concedes (§6) that
+//! they degrade when runtime behaviour drifts from the profile. This crate
+//! supplies the machinery to study that degradation — and to drive the
+//! adaptive re-planning loop in `optimus-core` that recovers from it:
+//!
+//! * [`FaultScenario`] — what can go wrong: i.i.d. kernel jitter, a
+//!   persistent straggler device, a degraded NVLink/RDMA link class,
+//!   transient kernel stalls, and device fail-stop with checkpoint-restart.
+//! * [`FaultModel`] — a seeded set of scenarios; [`FaultModel::inject`]
+//!   rewrites a [`optimus_sim::TaskGraph`] deterministically (same seed ⇒
+//!   bit-identical faulted graph), and [`FaultModel::degrade_topology`]
+//!   applies link degradation to a [`optimus_cluster::ClusterTopology`] so a
+//!   re-planner's collective cost model prices the fault honestly.
+//! * [`measure_drift`] — compares an observed timeline against the profiled
+//!   one per `(device, stream)` resource; [`DriftSummary::exceeds`] is the
+//!   re-planning trigger.
+//!
+//! # Examples
+//!
+//! ```
+//! use optimus_cluster::{ClusterTopology, DurNs};
+//! use optimus_faults::{FaultModel, FaultScenario};
+//! use optimus_sim::{simulate, Stream, TaskGraph, TaskKind};
+//!
+//! let mut g = TaskGraph::new(2);
+//! let a = g.push("fwd", 0, Stream::Compute, DurNs(1000), TaskKind::Generic, vec![]);
+//! g.push("fwd", 1, Stream::Compute, DurNs(1000), TaskKind::Generic, vec![a]);
+//!
+//! let topo = ClusterTopology::hopper_cluster(2).unwrap();
+//! let model = FaultModel::new(42)
+//!     .with(FaultScenario::StragglerDevice { device: 1, slowdown: 2.0 })
+//!     .unwrap();
+//! let faulted = model.inject(&g, &topo).unwrap();
+//! let base = simulate(&g).unwrap().makespan();
+//! let slow = simulate(&faulted.graph).unwrap().makespan();
+//! assert_eq!(slow.0, base.0 + 1000); // the straggler's kernel doubled
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod drift;
+pub mod error;
+pub mod inject;
+pub mod scenario;
+
+pub use drift::{measure_drift, DriftSummary, ResourceDrift};
+pub use error::FaultError;
+pub use inject::{perturb_uniform, FaultEvent, FaultModel, Injection};
+pub use scenario::FaultScenario;

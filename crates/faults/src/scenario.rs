@@ -1,0 +1,248 @@
+//! Fault scenario types: what can go wrong during a training step.
+//!
+//! Each scenario is a deterministic rewrite of task durations (and, for link
+//! degradation, of the cluster topology fed to the collective cost model).
+//! Scenarios that only *slow things down* are marked
+//! [`degrading`](FaultScenario::is_degrading): injecting them can never
+//! decrease the simulated makespan, which the monotonicity tests rely on.
+
+use optimus_cluster::{DurNs, LinkClass, TimeNs};
+
+use crate::error::FaultError;
+
+/// One failure mode injected into a simulated training step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultScenario {
+    /// I.i.d. kernel-runtime jitter: every task duration is scaled by an
+    /// independent uniform factor in `[1−eps, 1+eps]`. This is the paper's
+    /// §6 fluctuation model and the simplest scenario (formerly implemented
+    /// ad hoc in `optimus-core::robustness`).
+    KernelJitter {
+        /// Jitter amplitude in `[0, 1)`.
+        eps: f64,
+    },
+    /// A persistently slow device: every *compute* task on `device` runs
+    /// `slowdown`× its profiled duration (thermal throttling, a failing
+    /// HBM stack, a noisy neighbour on shared infrastructure).
+    StragglerDevice {
+        /// Simulated device index.
+        device: u32,
+        /// Multiplicative slowdown, `>= 1`.
+        slowdown: f64,
+    },
+    /// A degraded link class: NVLink lane failures or RDMA congestion.
+    /// Communication tasks carried by the class are slowed in the task
+    /// graph, and [`crate::FaultModel::degrade_topology`] applies the same
+    /// factors to the topology so a re-planner prices collectives honestly.
+    DegradedLink {
+        /// The affected link class (`Loopback` is rejected).
+        class: LinkClass,
+        /// Remaining bandwidth fraction in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Latency multiplier, `>= 1`.
+        latency_factor: f64,
+    },
+    /// Transient kernel stalls: each matching task independently stalls for
+    /// `stall` extra time with probability `prob` (page faults, clock dips,
+    /// preemption by a sibling job).
+    TransientStalls {
+        /// Per-task stall probability in `[0, 1]`.
+        prob: f64,
+        /// Added duration when a stall fires.
+        stall: DurNs,
+        /// Restrict stalls to one device; `None` = whole cluster.
+        device: Option<u32>,
+    },
+    /// Fail-stop of one device at time `at`: the job checkpoint-restarts,
+    /// paying `restart` before the interrupted work resumes. Modelled by
+    /// extending the task that is running (or next to run) on `device` at
+    /// `at` in the unperturbed timeline; FIFO queues and dependency edges
+    /// propagate the pause to every other device.
+    FailStop {
+        /// The failing device.
+        device: u32,
+        /// Failure instant on the unperturbed timeline.
+        at: TimeNs,
+        /// Checkpoint-restart cost.
+        restart: DurNs,
+    },
+}
+
+impl FaultScenario {
+    /// Validates the scenario's parameters.
+    pub fn validate(&self) -> Result<(), FaultError> {
+        match *self {
+            FaultScenario::KernelJitter { eps } => {
+                if !(0.0..1.0).contains(&eps) {
+                    return Err(FaultError::Invalid(format!(
+                        "jitter eps {eps} outside [0, 1)"
+                    )));
+                }
+            }
+            FaultScenario::StragglerDevice { slowdown, .. } => {
+                if !(slowdown >= 1.0 && slowdown.is_finite()) {
+                    return Err(FaultError::Invalid(format!(
+                        "straggler slowdown {slowdown} must be finite and >= 1"
+                    )));
+                }
+            }
+            FaultScenario::DegradedLink {
+                class,
+                bandwidth_factor,
+                latency_factor,
+            } => {
+                if class == LinkClass::Loopback {
+                    return Err(FaultError::Invalid(
+                        "cannot degrade the loopback link".into(),
+                    ));
+                }
+                if !(bandwidth_factor > 0.0 && bandwidth_factor <= 1.0) {
+                    return Err(FaultError::Invalid(format!(
+                        "bandwidth factor {bandwidth_factor} outside (0, 1]"
+                    )));
+                }
+                if !(latency_factor >= 1.0 && latency_factor.is_finite()) {
+                    return Err(FaultError::Invalid(format!(
+                        "latency factor {latency_factor} must be finite and >= 1"
+                    )));
+                }
+            }
+            FaultScenario::TransientStalls { prob, .. } => {
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err(FaultError::Invalid(format!(
+                        "stall probability {prob} outside [0, 1]"
+                    )));
+                }
+            }
+            FaultScenario::FailStop { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// True when injecting this scenario can only increase task durations —
+    /// and therefore can never decrease the simulated makespan.
+    pub fn is_degrading(&self) -> bool {
+        !matches!(self, FaultScenario::KernelJitter { .. })
+    }
+
+    /// Short stable name for traces and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultScenario::KernelJitter { .. } => "kernel_jitter",
+            FaultScenario::StragglerDevice { .. } => "straggler_device",
+            FaultScenario::DegradedLink { class, .. } => match class {
+                LinkClass::NvLink => "degraded_nvlink",
+                LinkClass::Rdma => "degraded_rdma",
+                LinkClass::Loopback => "degraded_loopback",
+            },
+            FaultScenario::TransientStalls { .. } => "transient_stalls",
+            FaultScenario::FailStop { .. } => "fail_stop",
+        }
+    }
+
+    /// Multiplicative duration factor for a degraded link, combining both
+    /// knobs conservatively: large transfers scale with `1/bandwidth_factor`,
+    /// latency-bound ones with `latency_factor`; a pre-timed span carries no
+    /// α/β split, so the worse of the two applies.
+    pub(crate) fn link_duration_factor(bandwidth_factor: f64, latency_factor: f64) -> f64 {
+        (1.0 / bandwidth_factor).max(latency_factor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_sane_parameters() {
+        assert!(FaultScenario::KernelJitter { eps: 0.1 }.validate().is_ok());
+        assert!(FaultScenario::StragglerDevice {
+            device: 3,
+            slowdown: 1.5
+        }
+        .validate()
+        .is_ok());
+        assert!(FaultScenario::DegradedLink {
+            class: LinkClass::Rdma,
+            bandwidth_factor: 0.25,
+            latency_factor: 2.0
+        }
+        .validate()
+        .is_ok());
+        assert!(FaultScenario::TransientStalls {
+            prob: 0.05,
+            stall: DurNs::from_micros(200),
+            device: None
+        }
+        .validate()
+        .is_ok());
+        assert!(FaultScenario::FailStop {
+            device: 0,
+            at: TimeNs(1000),
+            restart: DurNs::from_millis(5)
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(FaultScenario::KernelJitter { eps: 1.0 }.validate().is_err());
+        assert!(FaultScenario::StragglerDevice {
+            device: 0,
+            slowdown: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultScenario::DegradedLink {
+            class: LinkClass::Loopback,
+            bandwidth_factor: 0.5,
+            latency_factor: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultScenario::DegradedLink {
+            class: LinkClass::NvLink,
+            bandwidth_factor: 0.0,
+            latency_factor: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(FaultScenario::DegradedLink {
+            class: LinkClass::NvLink,
+            bandwidth_factor: 0.5,
+            latency_factor: 0.5
+        }
+        .validate()
+        .is_err());
+        assert!(FaultScenario::TransientStalls {
+            prob: 1.5,
+            stall: DurNs(1),
+            device: None
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn degrading_classification() {
+        assert!(!FaultScenario::KernelJitter { eps: 0.1 }.is_degrading());
+        assert!(FaultScenario::StragglerDevice {
+            device: 0,
+            slowdown: 2.0
+        }
+        .is_degrading());
+        assert!(FaultScenario::FailStop {
+            device: 0,
+            at: TimeNs(0),
+            restart: DurNs(1)
+        }
+        .is_degrading());
+    }
+
+    #[test]
+    fn link_factor_takes_the_worse_knob() {
+        assert_eq!(FaultScenario::link_duration_factor(0.25, 2.0), 4.0);
+        assert_eq!(FaultScenario::link_duration_factor(0.8, 3.0), 3.0);
+    }
+}

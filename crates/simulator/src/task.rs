@@ -261,17 +261,27 @@ impl TaskGraph {
             .sum()
     }
 
+    /// Returns a copy with every task duration replaced by `f(&task)` —
+    /// the general perturbation hook fault injection builds on. Structure
+    /// (devices, streams, queue order, dependency edges) is preserved, so
+    /// the copy simulates under identical scheduling semantics.
+    pub fn with_durations<F: FnMut(&Task) -> DurNs>(&self, mut f: F) -> TaskGraph {
+        let mut g = self.clone();
+        for t in &mut g.tasks {
+            t.duration = f(t);
+        }
+        g
+    }
+
     /// Returns a copy with every task duration scaled by an independent
     /// factor drawn by `scale` (e.g. uniform in `[1−ε, 1+ε]`) — used to
     /// study schedule robustness against CUDA kernel-runtime fluctuation
     /// (the paper's §6 "online scheduling" discussion).
     pub fn with_scaled_durations<F: FnMut(&Task) -> f64>(&self, mut scale: F) -> TaskGraph {
-        let mut g = self.clone();
-        for t in &mut g.tasks {
+        self.with_durations(|t| {
             let f = scale(t).max(0.0);
-            t.duration = DurNs((t.duration.0 as f64 * f).round() as u64);
-        }
-        g
+            DurNs((t.duration.0 as f64 * f).round() as u64)
+        })
     }
 }
 

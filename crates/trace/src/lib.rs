@@ -24,6 +24,8 @@ pub mod compact;
 pub mod stats;
 
 pub use ascii::render_timeline;
-pub use chrome::write_chrome_trace;
+pub use chrome::{write_chrome_trace, write_chrome_trace_with_annotations, TraceAnnotation};
 pub use compact::compact_timeline;
-pub use stats::{bubble_table, planner_search_table, SearchTiming, TextTable};
+pub use stats::{
+    bubble_table, fault_table, planner_search_table, quantile, SearchTiming, TextTable,
+};

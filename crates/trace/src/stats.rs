@@ -1,6 +1,39 @@
-//! Tabular reporting helpers used by the benchmark harness.
+//! Tabular reporting helpers used by the benchmark harness, plus the shared
+//! quantile function every percentile report in the workspace goes through.
 
 use optimus_sim::{BubbleBreakdown, BubbleKind};
+
+use crate::chrome::TraceAnnotation;
+
+/// Nearest-rank quantile of an **ascending-sorted** slice.
+///
+/// `q` is clamped to `[0, 1]`; `q = 0.5` is the median, `q = 0.95` the p95.
+/// Returns `NaN` on an empty slice. This is the one quantile definition the
+/// workspace uses (robustness reports, bench medians) so percentiles are
+/// comparable across reports.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Renders fault/annotation events as a table (the textual companion of the
+/// chrome-trace fault track).
+pub fn fault_table(annotations: &[TraceAnnotation]) -> String {
+    let mut t = TextTable::new(vec!["Event", "Device", "At (us)", "Detail"]);
+    for a in annotations {
+        t.row(vec![
+            a.label.clone(),
+            a.device.to_string(),
+            format!("{:.1}", a.at_us),
+            a.detail.clone(),
+        ]);
+    }
+    t.render()
+}
 
 /// Renders a [`BubbleBreakdown`] in the layout of the paper's Table 1.
 pub fn bubble_table(bd: &BubbleBreakdown) -> String {
@@ -144,6 +177,45 @@ impl TextTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn quantile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 0.5), 3.0);
+        assert_eq!(quantile(&v, 1.0), 5.0);
+        // (5-1)*0.95 = 3.8 → rounds to index 4.
+        assert_eq!(quantile(&v, 0.95), 5.0);
+        // (5-1)*0.6 = 2.4 → rounds to index 2.
+        assert_eq!(quantile(&v, 0.6), 3.0);
+        assert_eq!(quantile(&[7.5], 0.99), 7.5);
+        assert!(quantile(&[], 0.5).is_nan());
+        // Out-of-range q clamps instead of panicking.
+        assert_eq!(quantile(&v, 2.0), 5.0);
+        assert_eq!(quantile(&v, -1.0), 1.0);
+    }
+
+    #[test]
+    fn fault_table_lists_events() {
+        let ann = [
+            TraceAnnotation {
+                label: "straggler_device".into(),
+                device: 3,
+                at_us: 0.0,
+                detail: "slowdown 2.00x".into(),
+            },
+            TraceAnnotation {
+                label: "fail_stop".into(),
+                device: 1,
+                at_us: 1234.5,
+                detail: "restart 5.000ms".into(),
+            },
+        ];
+        let s = fault_table(&ann);
+        assert!(s.contains("straggler_device"));
+        assert!(s.contains("1234.5"));
+        assert!(s.contains("restart 5.000ms"));
+    }
 
     #[test]
     fn table_renders_aligned() {

@@ -18,6 +18,9 @@
 //! * [`baselines`] — Megatron-LM, Megatron-LM balanced, FSDP, Alpa-like;
 //! * [`core`] — the paper's contribution: model planner, bubble scheduler,
 //!   dependency management, memory analysis, verifier;
+//! * [`faults`] — deterministic fault injection (stragglers, degraded
+//!   links, transient stalls, fail-stop) plus drift measurement, feeding
+//!   the adaptive re-planning loop in [`core`];
 //! * [`trace`] — Chrome-trace export, ASCII timelines, report tables.
 //!
 //! # Examples
@@ -40,6 +43,7 @@
 pub use optimus_baselines as baselines;
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
+pub use optimus_faults as faults;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;
 pub use optimus_pipeline as pipeline;

@@ -1,0 +1,163 @@
+//! Integration tests for the fault-injection subsystem: determinism of the
+//! randomized scenarios and monotonicity of every degrading scenario
+//! (injecting a fault can never make the simulated step faster).
+
+use optimus::baselines::common::SystemContext;
+use optimus::baselines::megatron_lm;
+use optimus::cluster::{ClusterTopology, DurNs, LinkClass, TimeNs};
+use optimus::faults::{FaultModel, FaultScenario};
+use optimus::modeling::{MllmConfig, Workload};
+use optimus::sim::{simulate, TaskGraph};
+use optimus::trace::compact_timeline;
+
+/// A small but fully featured graph: 8-GPU Megatron-LM 1F1B with TP, P2P
+/// and DP traffic, ~hundreds of tasks.
+fn small_run() -> (TaskGraph, ClusterTopology) {
+    let w = Workload::new(MllmConfig::small(), 8, 4, 1);
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    (run.lowered.graph, ctx.topo)
+}
+
+fn randomized_model(seed: u64) -> FaultModel {
+    FaultModel::new(seed)
+        .with(FaultScenario::KernelJitter { eps: 0.1 })
+        .unwrap()
+        .with(FaultScenario::TransientStalls {
+            prob: 0.05,
+            stall: DurNs::from_micros(50),
+            device: None,
+        })
+        .unwrap()
+}
+
+#[test]
+fn same_seed_gives_identical_faulted_timeline() {
+    let (graph, topo) = small_run();
+    let a = randomized_model(42).inject(&graph, &topo).unwrap();
+    let b = randomized_model(42).inject(&graph, &topo).unwrap();
+    let ra = simulate(&a.graph).unwrap();
+    let rb = simulate(&b.graph).unwrap();
+    assert_eq!(
+        compact_timeline(&a.graph, &ra),
+        compact_timeline(&b.graph, &rb),
+        "same seed must reproduce the faulted timeline byte-for-byte"
+    );
+    assert_eq!(a.events, b.events);
+}
+
+#[test]
+fn different_seed_diverges() {
+    let (graph, topo) = small_run();
+    let a = randomized_model(42).inject(&graph, &topo).unwrap();
+    let b = randomized_model(43).inject(&graph, &topo).unwrap();
+    let ra = simulate(&a.graph).unwrap();
+    let rb = simulate(&b.graph).unwrap();
+    assert_ne!(
+        compact_timeline(&a.graph, &ra),
+        compact_timeline(&b.graph, &rb),
+        "different seeds should perturb the timeline differently"
+    );
+}
+
+#[test]
+fn degrading_scenarios_never_decrease_makespan() {
+    let (graph, topo) = small_run();
+    let base = simulate(&graph).unwrap().makespan();
+    let scenarios = [
+        FaultScenario::StragglerDevice {
+            device: 0,
+            slowdown: 1.5,
+        },
+        FaultScenario::DegradedLink {
+            class: LinkClass::NvLink,
+            bandwidth_factor: 0.5,
+            latency_factor: 2.0,
+        },
+        FaultScenario::DegradedLink {
+            class: LinkClass::Rdma,
+            bandwidth_factor: 0.25,
+            latency_factor: 1.0,
+        },
+        FaultScenario::TransientStalls {
+            prob: 0.1,
+            stall: DurNs::from_micros(100),
+            device: Some(3),
+        },
+        FaultScenario::FailStop {
+            device: 0,
+            at: TimeNs(base.0 / 3),
+            restart: DurNs::from_millis(2),
+        },
+    ];
+    for sc in scenarios {
+        let label = sc.label();
+        let inj = FaultModel::new(7)
+            .with(sc)
+            .unwrap()
+            .inject(&graph, &topo)
+            .unwrap();
+        let faulted = simulate(&inj.graph).unwrap().makespan();
+        assert!(
+            faulted >= base,
+            "{label}: faulted makespan {faulted:?} < fault-free {base:?}"
+        );
+    }
+}
+
+#[test]
+fn worse_straggler_means_no_faster_step() {
+    let (graph, topo) = small_run();
+    let mut prev = simulate(&graph).unwrap().makespan();
+    for slowdown in [1.1, 1.5, 2.0, 4.0] {
+        let inj = FaultModel::new(7)
+            .with(FaultScenario::StragglerDevice {
+                device: 0,
+                slowdown,
+            })
+            .unwrap()
+            .inject(&graph, &topo)
+            .unwrap();
+        let makespan = simulate(&inj.graph).unwrap().makespan();
+        assert!(
+            makespan >= prev,
+            "slowdown x{slowdown}: makespan {makespan:?} < previous {prev:?}"
+        );
+        prev = makespan;
+    }
+}
+
+#[test]
+fn stacked_scenarios_compose_commutatively() {
+    let (graph, topo) = small_run();
+    let straggler = FaultScenario::StragglerDevice {
+        device: 1,
+        slowdown: 1.3,
+    };
+    let link = FaultScenario::DegradedLink {
+        class: LinkClass::NvLink,
+        bandwidth_factor: 0.5,
+        latency_factor: 1.0,
+    };
+    let ab = FaultModel::new(5)
+        .with(straggler)
+        .unwrap()
+        .with(link)
+        .unwrap()
+        .inject(&graph, &topo)
+        .unwrap();
+    let ba = FaultModel::new(5)
+        .with(link)
+        .unwrap()
+        .with(straggler)
+        .unwrap()
+        .inject(&graph, &topo)
+        .unwrap();
+    let ra = simulate(&ab.graph).unwrap();
+    let rb = simulate(&ba.graph).unwrap();
+    assert_eq!(
+        compact_timeline(&ab.graph, &ra),
+        compact_timeline(&ba.graph, &rb),
+        "scenario order must not change the injected graph"
+    );
+}

@@ -77,6 +77,35 @@ fn megatron_1f1b_small_matches_golden() {
     check_golden("megatron_1f1b_small.txt", &run.lowered.graph, &run.result);
 }
 
+/// A deterministic faulted run: persistent straggler on device 0 plus a
+/// degraded NVLink class, injected into the 1F1B graph before simulation.
+/// Pins down the fault-injection arithmetic (multiplicative scaling,
+/// link-class mapping, rounding) byte-for-byte.
+#[test]
+fn megatron_1f1b_small_faulted_matches_golden() {
+    use optimus::cluster::LinkClass;
+    use optimus::faults::{FaultModel, FaultScenario};
+
+    let w = small_workload();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    let faults = FaultModel::new(7)
+        .with(FaultScenario::StragglerDevice {
+            device: 0,
+            slowdown: 1.5,
+        })
+        .unwrap()
+        .with(FaultScenario::DegradedLink {
+            class: LinkClass::NvLink,
+            bandwidth_factor: 0.5,
+            latency_factor: 1.5,
+        })
+        .unwrap();
+    let inj = faults.inject(&run.lowered.graph, &ctx.topo).unwrap();
+    let result = optimus::sim::simulate(&inj.graph).unwrap();
+    check_golden("megatron_1f1b_small_faulted.txt", &inj.graph, &result);
+}
+
 #[test]
 fn megatron_balanced_small_matches_golden() {
     let w = small_workload();
