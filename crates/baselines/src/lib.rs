@@ -23,6 +23,7 @@
 //! assert!(run.report.iteration_secs > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alpa;

@@ -1,0 +1,25 @@
+//! Deny-mode static analysis over every example schedule and config.
+//!
+//! Lints the lowered task graph of each pipeline schedule family (1F1B,
+//! GPipe, zero-bubble, interleaved) and the reports of full Optimus runs.
+//! Exits non-zero if any error-severity diagnostic fires — the CI gate.
+//! Pass `--smoke` for the fast subset.
+
+use optimus_bench::experiments::lint_sweep;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (report, rows) = lint_sweep::run(smoke);
+    println!("{report}");
+    let failures: Vec<&str> = rows
+        .iter()
+        .filter(|r| !r.passes())
+        .map(|r| r.name.as_str())
+        .collect();
+    assert!(
+        failures.is_empty(),
+        "deny-mode lint failed for: {}",
+        failures.join(", ")
+    );
+    eprintln!("deny-mode lint passed ({} artifacts clean)", rows.len());
+}

@@ -1,0 +1,208 @@
+//! Static-analysis sweep: lint the lowered task graph of every pipeline
+//! schedule family plus full Optimus runs over example configurations.
+//!
+//! The companion bin (`lint_schedules`) runs this in deny mode: any
+//! error-severity diagnostic on a graph the repository ships as an example
+//! fails the process, which is the CI configuration.
+
+use optimus_baselines::common::SystemContext;
+use optimus_cluster::DurNs;
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_lint::{Analyzer, CollectiveSpec, LintReport};
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_parallel::ParallelPlan;
+use optimus_pipeline::{
+    gpipe, interleaved_1f1b, lower, one_f_one_b, zero_bubble_h1, PipelineSchedule, PipelineSpec,
+    StageSpec, TimedKernel,
+};
+use optimus_trace::lint_table;
+
+/// One linted artifact.
+pub struct LintRow {
+    /// Artifact name.
+    pub name: String,
+    /// The report.
+    pub report: LintReport,
+}
+
+impl LintRow {
+    /// True when no error-severity diagnostic fired.
+    pub fn passes(&self) -> bool {
+        !self.report.has_errors()
+    }
+}
+
+fn uniform_spec(pp: u32, vpp: u32, n: u32) -> PipelineSpec {
+    let stage = StageSpec {
+        fwd: vec![
+            TimedKernel {
+                label: "attn_f",
+                dur: DurNs(60_000),
+                comm: false,
+            },
+            TimedKernel {
+                label: "ag",
+                dur: DurNs(8_000),
+                comm: true,
+            },
+            TimedKernel {
+                label: "mlp_f",
+                dur: DurNs(40_000),
+                comm: false,
+            },
+        ],
+        bwd: vec![
+            TimedKernel {
+                label: "mlp_b",
+                dur: DurNs(80_000),
+                comm: false,
+            },
+            TimedKernel {
+                label: "rs",
+                dur: DurNs(8_000),
+                comm: true,
+            },
+            TimedKernel {
+                label: "attn_b",
+                dur: DurNs(120_000),
+                comm: false,
+            },
+        ],
+        ..StageSpec::default()
+    };
+    PipelineSpec {
+        pp,
+        vpp,
+        n_microbatches: n,
+        stages: vec![stage; (pp * vpp) as usize],
+        dp_allgather: DurNs(30_000),
+        dp_reducescatter: DurNs(50_000),
+        p2p: DurNs(5_000),
+    }
+}
+
+fn lint_lowered(name: &str, spec: &PipelineSpec, schedule: &PipelineSchedule) -> LintRow {
+    let lowered = lower(spec, schedule, &[]).expect("lowering example schedule");
+    let report = Analyzer::new()
+        .graph(&lowered.graph)
+        .collectives(CollectiveSpec::from_graph(&lowered.graph))
+        .namer(|id| lowered.describe(id))
+        .analyze();
+    LintRow {
+        name: name.into(),
+        report,
+    }
+}
+
+fn lint_optimus(name: &str, w: &Workload, cfg: &OptimusConfig, ctx: &SystemContext) -> LintRow {
+    let report = match run_optimus(w, cfg, ctx) {
+        Ok(run) => run.lint,
+        Err(e) => LintReport {
+            diagnostics: vec![optimus_lint::Diagnostic::new(
+                optimus_lint::DiagCode::BubbleInsertOverlap,
+                format!("run failed before lint: {e}"),
+                vec![],
+            )],
+        },
+    };
+    LintRow {
+        name: name.into(),
+        report,
+    }
+}
+
+/// Lints every example schedule family and Optimus configuration.
+/// `smoke` keeps only the fast half (the CI configuration).
+pub fn run(smoke: bool) -> (String, Vec<LintRow>) {
+    let mut rows = Vec::new();
+
+    // Pipeline schedule families over a uniform 4-stage spec.
+    let spec = uniform_spec(4, 1, 8);
+    rows.push(lint_lowered(
+        "1f1b pp=4 n=8",
+        &spec,
+        &one_f_one_b(4, 8).unwrap(),
+    ));
+    rows.push(lint_lowered("gpipe pp=4 n=8", &spec, &gpipe(4, 8).unwrap()));
+    // Zero-bubble wants the backward split into input- and weight-gradient
+    // halves so its deferred W ops carry real kernels.
+    let mut zspec = uniform_spec(4, 1, 8);
+    for st in &mut zspec.stages {
+        st.bwd_weight = vec![TimedKernel {
+            label: "wgrad",
+            dur: DurNs(60_000),
+            comm: false,
+        }];
+    }
+    rows.push(lint_lowered(
+        "zero-bubble pp=4 n=8",
+        &zspec,
+        &zero_bubble_h1(4, 8).unwrap(),
+    ));
+    let vspec = uniform_spec(4, 2, 8);
+    rows.push(lint_lowered(
+        "interleaved pp=4 vpp=2 n=8",
+        &vspec,
+        &interleaved_1f1b(4, 2, 8, None).unwrap(),
+    ));
+
+    // Full Optimus runs (lint mode deny is the default: run_optimus would
+    // already have failed on an error diagnostic; the report lands in rows
+    // for the table regardless).
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let ctx = SystemContext::hopper(8).unwrap();
+    let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    rows.push(lint_optimus("optimus small (2,2,2)", &w, &cfg, &ctx));
+
+    if !smoke {
+        let mut zb = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        zb.llm_schedule = optimus_core::LlmScheduleKind::ZeroBubble;
+        rows.push(lint_optimus("optimus small zero-bubble", &w, &zb, &ctx));
+
+        let mut frozen = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        frozen.frozen_encoder = true;
+        rows.push(lint_optimus(
+            "optimus small frozen-encoder",
+            &w,
+            &frozen,
+            &ctx,
+        ));
+
+        let cfg4 = OptimusConfig::new(ParallelPlan::new(1, 4, 2).unwrap());
+        rows.push(lint_optimus("optimus small (1,4,2)", &w, &cfg4, &ctx));
+    }
+
+    let mut out = String::from("Static schedule analysis (deny mode)\n\n");
+    for r in &rows {
+        out.push_str(&format!(
+            "{:<32} {}\n",
+            r.name,
+            if r.report.is_clean() {
+                "clean".to_string()
+            } else {
+                format!(
+                    "{} diagnostic(s), {} error(s)",
+                    r.report.diagnostics.len(),
+                    r.report.errors().count()
+                )
+            }
+        ));
+        if !r.report.is_clean() {
+            out.push_str(&lint_table(&r.report));
+            out.push('\n');
+        }
+    }
+    (out, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_is_clean() {
+        let (report, rows) = run(true);
+        assert!(rows.iter().all(LintRow::passes), "{report}");
+        assert!(report.contains("1f1b"), "{report}");
+    }
+}

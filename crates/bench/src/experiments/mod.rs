@@ -10,6 +10,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig3;
+pub mod lint_sweep;
 pub mod planner_scaling;
 pub mod resilience;
 pub mod table1;

@@ -6,4 +6,6 @@
 //! plus the aggregate `run_all` binary that emits an EXPERIMENTS.md-ready
 //! report.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;

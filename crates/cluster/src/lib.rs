@@ -22,6 +22,7 @@
 //! assert!(t.as_micros_f64() > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod collective;

@@ -21,6 +21,12 @@ pub enum OptimusError {
         /// Re-simulated latency in seconds.
         simulated_secs: f64,
     },
+    /// Static analysis found error-severity diagnostics and the lint mode is
+    /// deny.
+    LintFailed {
+        /// One-line summaries of the error diagnostics.
+        diagnostics: Vec<String>,
+    },
 }
 
 impl fmt::Display for OptimusError {
@@ -32,6 +38,12 @@ impl fmt::Display for OptimusError {
             OptimusError::VerificationFailed { estimated_secs, simulated_secs } => write!(
                 f,
                 "verification failed: estimated {estimated_secs:.4}s vs simulated {simulated_secs:.4}s"
+            ),
+            OptimusError::LintFailed { diagnostics } => write!(
+                f,
+                "static analysis failed ({} error(s)): {}",
+                diagnostics.len(),
+                diagnostics.join("; ")
             ),
         }
     }
@@ -48,5 +60,47 @@ impl From<optimus_pipeline::PipelineError> for OptimusError {
 impl From<optimus_baselines::BaselineError> for OptimusError {
     fn from(e: optimus_baselines::BaselineError) -> OptimusError {
         OptimusError::Substrate(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_have_no_double_spaces() {
+        // Multi-line string literals continued without `\` once leaked runs
+        // of indentation spaces into user-facing messages.
+        let samples = [
+            OptimusError::Setup("bad setup".into()),
+            OptimusError::Infeasible("verification requires unadjusted dependency points".into()),
+            OptimusError::Substrate("sim".into()),
+            OptimusError::VerificationFailed {
+                estimated_secs: 1.0,
+                simulated_secs: 2.0,
+            },
+            OptimusError::LintFailed {
+                diagnostics: vec!["OPT002 stream-fifo-inversion: queue order".into()],
+            },
+        ];
+        for e in samples {
+            let msg = e.to_string();
+            assert!(!msg.contains("  "), "double space in {msg:?}");
+            assert!(!msg.is_empty());
+        }
+    }
+
+    #[test]
+    fn lint_failed_lists_diagnostics() {
+        let e = OptimusError::LintFailed {
+            diagnostics: vec![
+                "OPT001 cycle: a".into(),
+                "OPT004 memory-over-budget: b".into(),
+            ],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("2 error(s)"), "{msg}");
+        assert!(msg.contains("OPT001"), "{msg}");
+        assert!(msg.contains("OPT004"), "{msg}");
     }
 }

@@ -30,11 +30,13 @@
 //! assert!(run.report.iteration_secs > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod encoder;
 pub mod error;
+pub mod lint;
 pub mod memory;
 pub mod optimus;
 pub mod persist;
@@ -47,6 +49,10 @@ pub mod verify;
 pub use adaptive::{fault_annotations, resilience_study, ResilienceReport};
 pub use encoder::{EncKernel, EncoderStageWork, EncoderWork};
 pub use error::OptimusError;
+pub use lint::{
+    idle_intervals, lane_collective_spec, lint_profile, lint_run, memory_claim,
+    schedule_dep_points, schedule_insert_set, LintMode,
+};
 pub use memory::{colocated_model_state_bytes, colocation_overhead_bytes, optimus_memory};
 pub use optimus::{run_optimus, OptimusConfig, OptimusRun};
 pub use persist::SavedSchedule;

@@ -1,0 +1,313 @@
+//! Wiring from core types to the static analyzer (`optimus-lint`).
+//!
+//! The analyzer itself is intentionally dependency-light and knows nothing
+//! about profiles, schedules, or colocation layouts; this module translates
+//! core's artifacts into analyzer inputs:
+//!
+//! * [`lint_profile`] — structural lints (OPT001/002/006 + graph-derived
+//!   OPT003) over a profile's lowered LLM task graph, with witnesses named
+//!   through the lowering provenance;
+//! * [`idle_intervals`] / [`schedule_insert_set`] — the bubble-insert claim
+//!   model (OPT005) for a schedule outcome against its bubble profile;
+//! * [`schedule_dep_points`] — the static `CheckEncLLMDep` mirror;
+//! * [`lane_collective_spec`] — per-(pipeline, stage) encoder TP
+//!   communicator groups, statically checkable even for the multi-lane
+//!   layouts re-simulation rejects;
+//! * [`memory_claim`] — the worst-rank memory estimate against HBM;
+//! * [`lint_run`] — everything above for one schedule, as `run_optimus`
+//!   executes before returning (lint-before-simulate).
+
+use optimus_lint::{
+    Analyzer, CollectiveSpec, CommGroup, CommRank, DepPoints, IdleInterval, InsertClaim, InsertSet,
+    LintReport, MemoryClaim,
+};
+use optimus_modeling::MemoryEstimate;
+use optimus_parallel::ColocationLayout;
+
+use crate::profile::LlmProfile;
+use crate::scheduler::ScheduleOutcome;
+
+/// What to do with static-analysis findings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LintMode {
+    /// Skip static analysis entirely.
+    Off,
+    /// Run the analyzer and surface the report, but never fail the run.
+    Warn,
+    /// Run the analyzer and fail the run with
+    /// [`OptimusError::LintFailed`](crate::OptimusError::LintFailed) when any
+    /// error-severity diagnostic fires.
+    #[default]
+    Deny,
+}
+
+/// Far-away sentinel bounding the open-ended leading/trailing regions.
+const FAR: i64 = 1 << 60;
+
+/// Lints a profile's lowered LLM task graph: cycles, stream-FIFO
+/// inversions, orphan tasks, and the graph-derived DP collective sequences.
+/// Witnesses are named through [`optimus_pipeline::Lowered::describe`].
+pub fn lint_profile(profile: &LlmProfile) -> LintReport {
+    let lowered = &profile.lowered;
+    Analyzer::new()
+        .graph(&lowered.graph)
+        .collectives(CollectiveSpec::from_graph(&lowered.graph))
+        .namer(|id| lowered.describe(id))
+        .analyze()
+}
+
+/// The proven-idle intervals of a bubble profile: the open-ended leading
+/// region, interior compute bubbles, TP-comm idle windows, and the
+/// open-ended trailing region of every device.
+pub fn idle_intervals(profile: &LlmProfile) -> Vec<IdleInterval> {
+    let mut out = Vec::new();
+    for (d, dev) in profile.devices.iter().enumerate() {
+        let device = d as u32;
+        out.push(IdleInterval {
+            device,
+            comm: false,
+            start: -FAR,
+            end: dev.leading_end,
+        });
+        for iv in &dev.interior {
+            if !iv.is_empty() {
+                out.push(IdleInterval {
+                    device,
+                    comm: false,
+                    start: iv.start,
+                    end: iv.end,
+                });
+            }
+        }
+        for iv in &dev.comm_windows {
+            if !iv.is_empty() {
+                out.push(IdleInterval {
+                    device,
+                    comm: true,
+                    start: iv.start,
+                    end: iv.end,
+                });
+            }
+        }
+        out.push(IdleInterval {
+            device,
+            comm: false,
+            start: dev.trailing_start,
+            end: FAR,
+        });
+    }
+    out
+}
+
+/// The insert claims of one schedule outcome: each coarse block and each
+/// fine-grained placement claims its span on its host device and lane.
+pub fn schedule_insert_set(
+    outcome: &ScheduleOutcome,
+    profile: &LlmProfile,
+    layout: &ColocationLayout,
+) -> InsertSet {
+    let mut claims = Vec::new();
+    for b in &outcome.blocks {
+        if b.microbatches == 0 || b.end <= b.start {
+            continue;
+        }
+        claims.push(InsertClaim {
+            device: b.llm_stage,
+            lane: layout.lane_of(b.pipeline),
+            comm: false,
+            start: b.start,
+            end: b.end,
+            label: format!(
+                "coarse {:?} pipeline {} stage {}",
+                b.dir, b.pipeline, b.enc_stage
+            ),
+            chain: None,
+        });
+    }
+    for p in &outcome.placements {
+        if p.end <= p.start {
+            continue;
+        }
+        claims.push(InsertClaim {
+            device: p.llm_stage,
+            lane: layout.lane_of(p.pipeline),
+            comm: p.comm,
+            start: p.start,
+            end: p.end,
+            label: format!("{} pipeline {} mb {}", p.label, p.pipeline, p.microbatch),
+            chain: None,
+        });
+    }
+    InsertSet {
+        intervals: idle_intervals(profile),
+        claims,
+    }
+}
+
+/// The schedule's encoder finish/start times against the profile's LLM
+/// dependency points — the static `CheckEncLLMDep` (§4.3) mirror.
+pub fn schedule_dep_points(outcome: &ScheduleOutcome, profile: &LlmProfile) -> DepPoints {
+    DepPoints {
+        ef: outcome.ef.clone(),
+        f_points: profile.f_points.clone(),
+        eb: outcome.eb.clone(),
+        b_points: profile.b_points.clone(),
+        p2p_margin: profile.p2p_margin.0 as i64,
+    }
+}
+
+/// Encoder TP communicator groups for one schedule: each `(pipeline,
+/// enc stage)` with communication placements forms a group whose `enc_tp`
+/// member GPUs must enqueue the stage's collective sequence in the same
+/// (start-time) order. Unlike re-simulation, this works for `lanes > 1`
+/// layouts, where TP sub-groups run concurrent encoder pipelines the
+/// one-device-per-TP-group graph cannot express.
+pub fn lane_collective_spec(outcome: &ScheduleOutcome, enc_tp: u32) -> CollectiveSpec {
+    use std::collections::BTreeMap;
+    let mut seqs: BTreeMap<(u32, u32), Vec<(i64, String)>> = BTreeMap::new();
+    for p in &outcome.placements {
+        if !p.comm {
+            continue;
+        }
+        seqs.entry((p.pipeline, p.enc_stage))
+            .or_default()
+            .push((p.start, format!("{} mb {}", p.label, p.microbatch)));
+    }
+    let groups = seqs
+        .into_iter()
+        .map(|((pipeline, stage), mut seq)| {
+            seq.sort();
+            let tags: Vec<String> = seq.into_iter().map(|(_, tag)| tag).collect();
+            let ranks = (0..enc_tp.max(1))
+                .map(|t| CommRank::new(format!("tp rank {t}"), tags.clone()))
+                .collect();
+            CommGroup::new(format!("enc-tp pipeline {pipeline} stage {stage}"), ranks)
+        })
+        .collect();
+    CollectiveSpec::new(groups)
+}
+
+/// The worst-rank static memory claim against the HBM budget.
+pub fn memory_claim(memory: &MemoryEstimate, hbm_capacity: u64) -> MemoryClaim {
+    MemoryClaim::new("worst GPU", hbm_capacity)
+        .component("model states", memory.model_states)
+        .component("optimizer", memory.optimizer)
+        .component("activations", memory.activations)
+        .component("overhead", memory.overhead)
+}
+
+/// Runs every applicable pass for one schedule: the profile graph's
+/// structural lints, the bubble-insert claims, the dependency points, the
+/// encoder TP collective sequences, and the memory budget.
+pub fn lint_run(
+    outcome: &ScheduleOutcome,
+    profile: &LlmProfile,
+    layout: &ColocationLayout,
+    enc_tp: u32,
+    memory: &MemoryEstimate,
+    hbm_capacity: u64,
+) -> LintReport {
+    let lowered = &profile.lowered;
+    Analyzer::new()
+        .graph(&lowered.graph)
+        .collectives(CollectiveSpec::from_graph(&lowered.graph))
+        .collectives(lane_collective_spec(outcome, enc_tp))
+        .namer(|id| lowered.describe(id))
+        .inserts(schedule_insert_set(outcome, profile, layout))
+        .dep_points(schedule_dep_points(outcome, profile))
+        .memory(memory_claim(memory, hbm_capacity))
+        .analyze()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimus::{run_optimus, OptimusConfig};
+    use optimus_baselines::common::SystemContext;
+    use optimus_lint::DiagCode;
+    use optimus_modeling::{MllmConfig, Workload};
+    use optimus_parallel::ParallelPlan;
+
+    fn small_run() -> (
+        Workload,
+        SystemContext,
+        crate::optimus::OptimusRun,
+        OptimusConfig,
+    ) {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        (w, ctx, run, cfg)
+    }
+
+    #[test]
+    fn real_profile_lints_clean() {
+        let (_w, _ctx, run, _cfg) = small_run();
+        let report = lint_profile(&run.profile);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn real_schedule_claims_fit_their_bubbles() {
+        let (_w, ctx, run, cfg) = small_run();
+        let layout = ColocationLayout::new(cfg.llm_plan, run.enc_plan).unwrap();
+        let report = lint_run(
+            &run.outcome,
+            &run.profile,
+            &layout,
+            run.enc_plan.tp,
+            &run.memory,
+            ctx.topo.gpu.hbm_capacity,
+        );
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn shifted_claim_escapes_its_interval() {
+        let (_w, _ctx, run, cfg) = small_run();
+        let layout = ColocationLayout::new(cfg.llm_plan, run.enc_plan).unwrap();
+        let mut set = schedule_insert_set(&run.outcome, &run.profile, &layout);
+        // Drag the first fine-grained claim far past every bubble.
+        if let Some(c) = set.claims.iter_mut().find(|c| c.label.contains("mb")) {
+            c.start += FAR / 2;
+            c.end += FAR / 2;
+        } else {
+            return; // coarse-only schedule: nothing to perturb
+        }
+        let report = Analyzer::new().inserts(set).analyze();
+        assert!(
+            report.has(DiagCode::BubbleInsertOverlap),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn dep_points_round_trip_and_reject_violations() {
+        let (_w, _ctx, run, _cfg) = small_run();
+        let dp = schedule_dep_points(&run.outcome, &run.profile);
+        let clean = Analyzer::new().dep_points(dp.clone()).analyze();
+        assert!(clean.is_clean(), "{}", clean.render());
+        // Push one encoder forward past its slot.
+        let mut bad = dp;
+        if let Some(e) = bad.ef.first_mut() {
+            *e += FAR / 2;
+            let report = Analyzer::new().dep_points(bad).analyze();
+            assert!(report.has(DiagCode::BubbleInsertOverlap));
+        }
+    }
+
+    #[test]
+    fn memory_claim_matches_estimate() {
+        let (_w, ctx, run, _cfg) = small_run();
+        let claim = memory_claim(&run.memory, ctx.topo.gpu.hbm_capacity);
+        assert_eq!(claim.total(), run.memory.total());
+        let report = Analyzer::new().memory(claim).analyze();
+        assert!(report.is_clean(), "{}", report.render());
+        // A 1-byte budget must trip OPT004.
+        let tight = memory_claim(&run.memory, 1);
+        let report = Analyzer::new().memory(tight).analyze();
+        assert!(report.has(DiagCode::MemoryOverBudget));
+    }
+}

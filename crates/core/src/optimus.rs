@@ -44,6 +44,10 @@ pub struct OptimusConfig {
     /// Worker threads for the candidate plan search; `0` = one per
     /// available core. The chosen plan is bit-identical for any value.
     pub search_workers: usize,
+    /// Static analysis of the chosen schedule before it is returned
+    /// (deadlock signatures, collective mismatches, bubble-claim validity,
+    /// memory budget). `Deny` fails the run on error diagnostics.
+    pub lint: crate::lint::LintMode,
 }
 
 impl OptimusConfig {
@@ -59,6 +63,7 @@ impl OptimusConfig {
             llm_schedule: crate::profile::LlmScheduleKind::default(),
             mb_scales: None,
             search_workers: 0,
+            lint: crate::lint::LintMode::default(),
         }
     }
 
@@ -92,6 +97,9 @@ pub struct OptimusRun {
     pub candidates_evaluated: usize,
     /// Timing and counters from the parallel plan search.
     pub search: SearchStats,
+    /// Static-analysis report for the chosen schedule (empty when the lint
+    /// mode is `Off`).
+    pub lint: optimus_lint::LintReport,
 }
 
 /// Runs Optimus end to end (Algorithm 1).
@@ -183,6 +191,32 @@ pub fn run_optimus(
     };
 
     let memory = optimus_memory(w, &enc_plan, &cfg.llm_plan, n_mb);
+
+    // Static analysis of the chosen schedule (lint-before-simulate): the
+    // profile graph's structural lints plus the schedule-level claims. Works
+    // for every layout, including the multi-lane ones `verify` rejects.
+    let lint = match cfg.lint {
+        crate::lint::LintMode::Off => optimus_lint::LintReport::default(),
+        crate::lint::LintMode::Warn | crate::lint::LintMode::Deny => {
+            let layout = optimus_parallel::ColocationLayout::new(cfg.llm_plan, enc_plan)
+                .map_err(|e| OptimusError::Setup(e.to_string()))?;
+            let report = crate::lint::lint_run(
+                &outcome,
+                &profile,
+                &layout,
+                enc_plan.tp,
+                &memory,
+                ctx.topo.gpu.hbm_capacity,
+            );
+            if cfg.lint == crate::lint::LintMode::Deny && report.has_errors() {
+                return Err(OptimusError::LintFailed {
+                    diagnostics: report.errors().map(|d| d.summary()).collect(),
+                });
+            }
+            report
+        }
+    };
+
     let report = make_report("Optimus", w, ctx, outcome.latency_secs(), &memory);
     let eff_fine = outcome.efficiency();
     Ok(OptimusRun {
@@ -196,6 +230,7 @@ pub fn run_optimus(
         planner_pruned: planner.pruned,
         candidates_evaluated: stats.evaluated,
         search: stats,
+        lint,
     })
 }
 

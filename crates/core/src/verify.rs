@@ -70,12 +70,30 @@ pub fn verify(
     }
     if run.profile.adjusted {
         return Err(OptimusError::Infeasible(
-            "verification requires unadjusted dependency points (set              OptimusConfig::adjust_dep_points = false): deferred F points              imply a warmup reorder the unmodified task graph cannot express"
+            "verification requires unadjusted dependency points (set \
+             OptimusConfig::adjust_dep_points = false): deferred F points \
+             imply a warmup reorder the unmodified task graph cannot express"
                 .into(),
         ));
     }
     let inserts = build_schedule_inserts(run, w, ctx)?;
     let lowered = lower(&run.profile.spec, &run.profile.schedule, &inserts)?;
+
+    // Lint before simulating: a structural defect in the spliced graph
+    // (FIFO inversion, dependency cycle, mismatched collective sequence)
+    // surfaces as a typed report with named witnesses instead of a
+    // simulator deadlock on anonymous task ids.
+    let lint = optimus_lint::Analyzer::new()
+        .graph(&lowered.graph)
+        .collectives(optimus_lint::CollectiveSpec::from_graph(&lowered.graph))
+        .namer(|id| lowered.describe(id))
+        .analyze();
+    if lint.has_errors() {
+        return Err(OptimusError::LintFailed {
+            diagnostics: lint.errors().map(|d| d.summary()).collect(),
+        });
+    }
+
     let result = simulate(&lowered.graph).map_err(|e| OptimusError::Substrate(e.to_string()))?;
 
     let estimated = run.outcome.latency_secs();
@@ -423,6 +441,20 @@ mod tests {
         let report = verify(&run, &w, &ctx, 0.15).unwrap();
         assert!(report.rel_error <= 0.15, "rel error {}", report.rel_error);
         assert!(report.simulated_secs > 0.0);
+    }
+
+    #[test]
+    fn adjusted_points_error_is_well_formed() {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap()); // adjusted points
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        let err = verify(&run, &w, &ctx, 0.1).unwrap_err();
+        let msg = err.to_string();
+        assert!(!msg.contains("  "), "double space in {msg:?}");
+        if run.enc_plan.tp == run.profile.llm_plan.tp {
+            assert!(msg.contains("adjust_dep_points"), "{msg}");
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! construction `rand`'s `SmallRng` family uses — and is fully deterministic
 //! across platforms: every draw is pure 64-bit integer arithmetic.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::ops::{Range, RangeInclusive};

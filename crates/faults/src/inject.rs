@@ -47,6 +47,17 @@ pub struct Injection {
     pub events: Vec<FaultEvent>,
 }
 
+impl Injection {
+    /// Statically lints the faulted graph. Fault injection rewrites
+    /// durations and (for fail-stop) topology-adjacent structure, so every
+    /// injection is expected to lint clean — a report with errors means the
+    /// rewrite itself corrupted the graph, not that the fault slowed it
+    /// down.
+    pub fn lint(&self) -> optimus_lint::LintReport {
+        optimus_lint::lint_graph(&self.graph)
+    }
+}
+
 /// A seeded set of fault scenarios applied together to one step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultModel {
@@ -408,6 +419,91 @@ mod tests {
 
     fn makespan(g: &TaskGraph) -> u64 {
         simulate(g).unwrap().makespan().0
+    }
+
+    /// Like [`sample_graph`] but with every active device running the same
+    /// DP collective sequence, so the derived OPT003 spec is consistent.
+    fn dp_consistent_graph() -> TaskGraph {
+        let mut g = TaskGraph::new(16);
+        let mut prev = None;
+        for d in 0..4u32 {
+            let dev = d * 4;
+            let deps = prev.map(|p| vec![p]).unwrap_or_default();
+            let k = g.push(
+                "fwd",
+                dev,
+                Stream::Compute,
+                DurNs(10_000),
+                TaskKind::Generic,
+                deps,
+            );
+            let c = g.push(
+                "ag",
+                dev,
+                Stream::TpComm,
+                DurNs(3_000),
+                TaskKind::LlmTpComm,
+                vec![k],
+            );
+            let p = g.push(
+                "send",
+                dev,
+                Stream::P2p,
+                DurNs(2_000),
+                TaskKind::PpFwdTransfer { microbatch: 0 },
+                vec![c],
+            );
+            g.push(
+                "rs",
+                dev,
+                Stream::DpComm,
+                DurNs(5_000),
+                TaskKind::DpReduceScatter,
+                vec![p],
+            );
+            prev = Some(p);
+        }
+        g
+    }
+
+    #[test]
+    fn injections_lint_clean_under_every_scenario() {
+        let g = dp_consistent_graph();
+        assert!(optimus_lint::lint_graph(&g).is_clean());
+        let scenarios = [
+            FaultScenario::KernelJitter { eps: 0.1 },
+            FaultScenario::StragglerDevice {
+                device: 4,
+                slowdown: 2.0,
+            },
+            FaultScenario::DegradedLink {
+                class: LinkClass::Rdma,
+                bandwidth_factor: 0.5,
+                latency_factor: 2.0,
+            },
+            FaultScenario::TransientStalls {
+                prob: 0.5,
+                stall: DurNs(1_000),
+                device: None,
+            },
+            FaultScenario::FailStop {
+                device: 8,
+                at: TimeNs(12_000),
+                restart: DurNs(50_000),
+            },
+        ];
+        for s in scenarios {
+            let label = format!("{s:?}");
+            let inj = FaultModel::new(11)
+                .with(s)
+                .unwrap()
+                .inject(&g, &topo())
+                .unwrap();
+            let report = inj.lint();
+            assert!(report.is_clean(), "{label}: {}", report.render());
+            // The faulted graph still executes.
+            simulate(&inj.graph).unwrap();
+        }
     }
 
     #[test]

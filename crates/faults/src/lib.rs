@@ -39,6 +39,7 @@
 //! assert_eq!(slow.0, base.0 + 1000); // the straggler's kernel doubled
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod drift;

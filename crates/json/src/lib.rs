@@ -5,6 +5,7 @@
 //! persistence and Chrome-trace export. Objects preserve insertion order, so
 //! serialisation is deterministic — a requirement for golden-file tests.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::collections::BTreeMap;

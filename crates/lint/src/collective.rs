@@ -1,0 +1,287 @@
+//! Collective-participation matching (OPT003).
+//!
+//! NCCL collectives are matched by *issue order within a communicator*, not
+//! by name: if the ranks of one group enqueue different collective
+//! sequences — one rank skips an all-gather, or two ranks issue the same
+//! collectives in different orders — every rank blocks inside a different
+//! call and the job hangs with no error. Runtime verification only catches
+//! this for layouts it can simulate; this pass checks the issue sequences
+//! symbolically, so it also covers the multi-lane colocation layouts
+//! `optimus_core::verify` rejects.
+
+use std::collections::BTreeMap;
+
+use optimus_sim::{Stream, TaskGraph, TaskId};
+
+use crate::diag::{DiagCode, Diagnostic, Witness};
+
+/// One rank's view of a communicator: the ordered collective sequence it
+/// will enqueue.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommRank {
+    /// Display name ("device 3", "lane 1 rank 0", ...).
+    pub name: String,
+    /// Ordered collective tags, one per enqueued collective.
+    pub sequence: Vec<String>,
+    /// Optional task anchors, parallel to `sequence` (used in witnesses).
+    pub tasks: Vec<Option<TaskId>>,
+}
+
+impl CommRank {
+    /// A rank with tag-only entries (no task anchors).
+    pub fn new(name: impl Into<String>, sequence: Vec<String>) -> CommRank {
+        let tasks = vec![None; sequence.len()];
+        CommRank {
+            name: name.into(),
+            sequence,
+            tasks,
+        }
+    }
+
+    /// Appends one collective, optionally anchored to a task.
+    pub fn push(&mut self, tag: impl Into<String>, task: Option<TaskId>) {
+        self.sequence.push(tag.into());
+        self.tasks.push(task);
+    }
+
+    fn anchor(&self, k: usize) -> Option<TaskId> {
+        self.tasks.get(k).copied().flatten()
+    }
+}
+
+/// One communicator group: every member must enqueue the same sequence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CommGroup {
+    /// Display name ("dp", "tp lane 0", ...).
+    pub name: String,
+    /// Member ranks.
+    pub ranks: Vec<CommRank>,
+}
+
+impl CommGroup {
+    /// A named group.
+    pub fn new(name: impl Into<String>, ranks: Vec<CommRank>) -> CommGroup {
+        CommGroup {
+            name: name.into(),
+            ranks,
+        }
+    }
+}
+
+/// Communicator groups to check against each other.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectiveSpec {
+    /// The groups; each is checked independently.
+    pub groups: Vec<CommGroup>,
+}
+
+impl CollectiveSpec {
+    /// A spec over explicit groups.
+    pub fn new(groups: Vec<CommGroup>) -> CollectiveSpec {
+        CollectiveSpec { groups }
+    }
+
+    /// Derives the data-parallel group from a task graph: every device that
+    /// executes any task is a member, and its sequence is the labels of its
+    /// `DpComm`-stream queue in issue order. Devices whose queue is empty
+    /// participate with an empty sequence — that is what catches a rank
+    /// whose all-gather was dropped.
+    pub fn from_graph(g: &TaskGraph) -> CollectiveSpec {
+        let mut dp: BTreeMap<u32, CommRank> = BTreeMap::new();
+        for t in g.tasks() {
+            dp.entry(t.device)
+                .or_insert_with(|| CommRank::new(format!("device {}", t.device), Vec::new()));
+        }
+        for ((dev, stream), queue) in g.stream_queues() {
+            if stream != Stream::DpComm {
+                continue;
+            }
+            let rank = dp.get_mut(&dev).expect("queued device is active");
+            for id in queue {
+                rank.push(g.task(id).label.to_string(), Some(id));
+            }
+        }
+        let ranks: Vec<CommRank> = dp.into_values().collect();
+        if ranks.len() < 2 {
+            return CollectiveSpec::default();
+        }
+        CollectiveSpec::new(vec![CommGroup::new("dp", ranks)])
+    }
+}
+
+fn divergence_witness(reference: &CommRank, rank: &CommRank, k: usize) -> Vec<Witness> {
+    let describe = |r: &CommRank| -> Witness {
+        let detail = match r.sequence.get(k) {
+            Some(tag) => format!("{} enqueues `{}` at position {}", r.name, tag, k),
+            None => format!(
+                "{} enqueues nothing at position {} (sequence ends after {} collective(s))",
+                r.name,
+                k,
+                r.sequence.len()
+            ),
+        };
+        match r.anchor(k) {
+            Some(id) => Witness::task(id, detail),
+            None => Witness::note(detail),
+        }
+    };
+    vec![describe(reference), describe(rank)]
+}
+
+/// Runs OPT003: within each group, every rank's sequence must equal the
+/// first rank's. One diagnostic per diverging rank, anchored at the first
+/// position where the sequences differ.
+pub(crate) fn check_collectives(spec: &CollectiveSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for group in &spec.groups {
+        let Some(reference) = group.ranks.first() else {
+            continue;
+        };
+        for rank in &group.ranks[1..] {
+            if rank.sequence == reference.sequence {
+                continue;
+            }
+            let k = reference
+                .sequence
+                .iter()
+                .zip(&rank.sequence)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| reference.sequence.len().min(rank.sequence.len()));
+            out.push(Diagnostic::new(
+                DiagCode::CollectiveOrderMismatch,
+                format!(
+                    "communicator `{}`: {} and {} enqueue different collective \
+                     sequences (first divergence at position {k}) — all ranks \
+                     would block in mismatched calls",
+                    group.name, reference.name, rank.name
+                ),
+                divergence_witness(reference, rank, k),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Analyzer;
+    use optimus_cluster::DurNs;
+    use optimus_sim::TaskKind;
+
+    fn check(spec: CollectiveSpec) -> Vec<Diagnostic> {
+        check_collectives(&spec)
+    }
+
+    #[test]
+    fn identical_sequences_are_clean() {
+        let spec = CollectiveSpec::new(vec![CommGroup::new(
+            "dp",
+            vec![
+                CommRank::new("rank 0", vec!["ag".into(), "rs".into()]),
+                CommRank::new("rank 1", vec!["ag".into(), "rs".into()]),
+            ],
+        )]);
+        assert!(check(spec).is_empty());
+    }
+
+    #[test]
+    fn skipped_collective_is_flagged_at_divergence_point() {
+        let spec = CollectiveSpec::new(vec![CommGroup::new(
+            "dp",
+            vec![
+                CommRank::new("rank 0", vec!["ag".into(), "rs".into()]),
+                CommRank::new("rank 1", vec!["rs".into()]),
+            ],
+        )]);
+        let diags = check(spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::CollectiveOrderMismatch);
+        assert!(
+            diags[0].message.contains("position 0"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn swapped_order_is_flagged() {
+        let spec = CollectiveSpec::new(vec![CommGroup::new(
+            "tp",
+            vec![
+                CommRank::new("rank 0", vec!["ag".into(), "rs".into()]),
+                CommRank::new("rank 1", vec!["rs".into(), "ag".into()]),
+            ],
+        )]);
+        assert_eq!(check(spec).len(), 1);
+    }
+
+    #[test]
+    fn each_diverging_rank_reported() {
+        let spec = CollectiveSpec::new(vec![CommGroup::new(
+            "dp",
+            vec![
+                CommRank::new("rank 0", vec!["ag".into()]),
+                CommRank::new("rank 1", vec![]),
+                CommRank::new("rank 2", vec!["ag".into()]),
+                CommRank::new("rank 3", vec!["ag".into(), "ag".into()]),
+            ],
+        )]);
+        assert_eq!(check(spec).len(), 2);
+    }
+
+    #[test]
+    fn from_graph_matches_dp_queues() {
+        let mut g = TaskGraph::new(2);
+        for dev in 0..2 {
+            g.push(
+                "dp_allgather",
+                dev,
+                Stream::DpComm,
+                DurNs(5),
+                TaskKind::DpAllGather,
+                vec![],
+            );
+            g.push(
+                "k",
+                dev,
+                Stream::Compute,
+                DurNs(5),
+                TaskKind::Generic,
+                vec![],
+            );
+        }
+        let spec = CollectiveSpec::from_graph(&g);
+        assert_eq!(spec.groups.len(), 1);
+        assert!(check(spec).is_empty());
+
+        // Drop rank 1's all-gather: the derived spec now diverges.
+        let mut g2 = TaskGraph::new(2);
+        g2.push(
+            "dp_allgather",
+            0,
+            Stream::DpComm,
+            DurNs(5),
+            TaskKind::DpAllGather,
+            vec![],
+        );
+        g2.push("k", 1, Stream::Compute, DurNs(5), TaskKind::Generic, vec![]);
+        let diags = check(CollectiveSpec::from_graph(&g2));
+        assert_eq!(diags.len(), 1);
+        // The present side of the witness is anchored to the real task.
+        assert!(diags[0].witness.iter().any(|w| w.task == Some(TaskId(0))));
+    }
+
+    #[test]
+    fn single_rank_group_is_vacuously_clean() {
+        let spec = CollectiveSpec::new(vec![CommGroup::new(
+            "dp",
+            vec![CommRank::new("rank 0", vec!["ag".into()])],
+        )]);
+        assert!(check(spec).is_empty());
+        let r = Analyzer::new()
+            .collectives(CollectiveSpec::default())
+            .analyze();
+        assert!(r.is_clean());
+    }
+}

@@ -1,0 +1,108 @@
+//! Static memory-budget checking (OPT004).
+//!
+//! Colocation trades memory for bubbles (§4.5 of the paper): encoder model
+//! states and activations share HBM with the LLM's. A plan whose worst-rank
+//! resident footprint exceeds capacity OOMs at step one — long after an
+//! expensive plan search looked "optimal". This pass is a plain budget
+//! comparison over labeled components so the witness says *what* is over,
+//! not just that something is.
+
+use crate::diag::{DiagCode, Diagnostic, Witness};
+
+/// A per-device (or worst-rank) static memory claim against an HBM budget.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryClaim {
+    /// Display name ("worst LLM rank", "device 3", ...).
+    pub name: String,
+    /// Labeled contributions in bytes (model states, optimizer shards,
+    /// activations, overhead, ...).
+    pub components: Vec<(String, u64)>,
+    /// HBM capacity in bytes.
+    pub budget: u64,
+}
+
+impl MemoryClaim {
+    /// A claim with no components yet.
+    pub fn new(name: impl Into<String>, budget: u64) -> MemoryClaim {
+        MemoryClaim {
+            name: name.into(),
+            components: Vec::new(),
+            budget,
+        }
+    }
+
+    /// Adds a labeled contribution; returns `self` for chaining.
+    pub fn component(mut self, label: impl Into<String>, bytes: u64) -> MemoryClaim {
+        self.components.push((label.into(), bytes));
+        self
+    }
+
+    /// Sum of all components.
+    pub fn total(&self) -> u64 {
+        self.components.iter().map(|(_, b)| b).sum()
+    }
+}
+
+const GIB: f64 = (1u64 << 30) as f64;
+
+/// Runs OPT004: total over budget is an error; witnesses list components
+/// largest-first so the dominant consumer leads.
+pub(crate) fn check_memory(claim: &MemoryClaim) -> Vec<Diagnostic> {
+    let total = claim.total();
+    if total <= claim.budget {
+        return Vec::new();
+    }
+    let mut parts = claim.components.clone();
+    parts.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
+    let witness = parts
+        .into_iter()
+        .map(|(label, bytes)| Witness::note(format!("{label}: {:.2} GiB", bytes as f64 / GIB)))
+        .collect();
+    vec![Diagnostic::new(
+        DiagCode::MemoryOverBudget,
+        format!(
+            "{}: static peak {:.2} GiB exceeds HBM budget {:.2} GiB by {:.2} GiB",
+            claim.name,
+            total as f64 / GIB,
+            claim.budget as f64 / GIB,
+            (total - claim.budget) as f64 / GIB,
+        ),
+        witness,
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_budget_is_clean() {
+        let claim = MemoryClaim::new("worst rank", 80 << 30)
+            .component("model states", 40 << 30)
+            .component("activations", 20 << 30);
+        assert!(check_memory(&claim).is_empty());
+        assert_eq!(claim.total(), 60 << 30);
+    }
+
+    #[test]
+    fn exactly_at_budget_is_clean() {
+        let claim = MemoryClaim::new("r", 100).component("a", 100);
+        assert!(check_memory(&claim).is_empty());
+    }
+
+    #[test]
+    fn over_budget_names_dominant_component_first() {
+        let claim = MemoryClaim::new("worst rank", 80 << 30)
+            .component("model states", 50 << 30)
+            .component("encoder colocation", 60 << 30);
+        let diags = check_memory(&claim);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::MemoryOverBudget);
+        assert!(diags[0].message.contains("exceeds"), "{}", diags[0].message);
+        assert!(
+            diags[0].witness[0].detail.starts_with("encoder colocation"),
+            "{}",
+            diags[0].witness[0].detail
+        );
+    }
+}

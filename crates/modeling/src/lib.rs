@@ -17,6 +17,7 @@
 //! assert!(vit.total_params() > 20_000_000_000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod config;

@@ -19,6 +19,7 @@
 //! assert_eq!(layout.pipelines_per_llm_pipeline(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod enumerate;

@@ -18,6 +18,7 @@
 //! assert_eq!(i.warmup, vec![10, 8, 6, 4]);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod balance;

@@ -149,6 +149,47 @@ impl Lowered {
             .get(&(op.rank, op.chunk, op.microbatch, op.dir))
             .copied()
     }
+
+    /// Names a task with its lowering provenance — the op (chunk /
+    /// microbatch / direction), transfer, or collective it implements, plus
+    /// rank and stream. Used as the witness namer for static analysis
+    /// reports, where "`attn` (LLM bwd chunk 1 mb 3, rank 2, Compute)" beats
+    /// a bare task id.
+    pub fn describe(&self, id: TaskId) -> String {
+        let t = self.graph.task(id);
+        let role = match t.kind {
+            TaskKind::LlmFwd { chunk, microbatch } => {
+                format!("LLM fwd chunk {chunk} mb {microbatch}")
+            }
+            TaskKind::LlmBwd { chunk, microbatch } => {
+                format!("LLM bwd chunk {chunk} mb {microbatch}")
+            }
+            TaskKind::LlmTpComm => "LLM TP collective".into(),
+            TaskKind::PpFwdTransfer { microbatch } => {
+                format!("PP fwd transfer mb {microbatch}")
+            }
+            TaskKind::PpBwdTransfer { microbatch } => {
+                format!("PP bwd transfer mb {microbatch}")
+            }
+            TaskKind::DpAllGather => "DP all-gather".into(),
+            TaskKind::DpReduceScatter => "DP reduce-scatter".into(),
+            TaskKind::Optimizer => "optimizer step".into(),
+            TaskKind::EncFwd {
+                pipeline,
+                stage,
+                microbatch,
+            } => format!("encoder fwd pipeline {pipeline} stage {stage} mb {microbatch}"),
+            TaskKind::EncBwd {
+                pipeline,
+                stage,
+                microbatch,
+            } => format!("encoder bwd pipeline {pipeline} stage {stage} mb {microbatch}"),
+            TaskKind::EncTpComm => "encoder TP collective".into(),
+            TaskKind::EncLlmTransfer => "encoder↔LLM transfer".into(),
+            TaskKind::Generic => "task".into(),
+        };
+        format!("`{}` ({role}, rank {}, {:?})", t.label, t.device, t.stream)
+    }
 }
 
 /// Lowers a schedule over a spec, splicing in `inserts`.
@@ -512,6 +553,24 @@ mod tests {
             dp_reducescatter: DurNs::ZERO,
             p2p: DurNs::ZERO,
         }
+    }
+
+    #[test]
+    fn describe_names_op_provenance() {
+        let spec = uniform_spec(2, 1, 2, 100, 200);
+        let schedule = one_f_one_b(2, 2).unwrap();
+        let lowered = lower(&spec, &schedule, &[]).unwrap();
+        let descriptions: Vec<String> = (0..lowered.graph.len())
+            .map(|i| lowered.describe(TaskId(i as u32)))
+            .collect();
+        assert!(
+            descriptions
+                .iter()
+                .any(|d| d.contains("LLM fwd chunk 0 mb 0")),
+            "{descriptions:?}"
+        );
+        assert!(descriptions.iter().any(|d| d.contains("DP all-gather")));
+        assert!(descriptions.iter().any(|d| d.contains("rank 1")));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! assert_eq!(r.makespan().0, 2300); // 300 ns TP bubble between the kernels
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

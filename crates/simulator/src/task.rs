@@ -252,6 +252,46 @@ impl TaskGraph {
         &self.tasks[id.index()]
     }
 
+    /// All dependency edges as `(dep, task)` pairs: `task` waits for `dep`.
+    /// Order is deterministic (task insertion order, then dep-list order).
+    pub fn dep_edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.tasks
+            .iter()
+            .flat_map(|t| t.deps.iter().map(move |&d| (d, t.id)))
+    }
+
+    /// Per-`(device, stream)` FIFO queues in execution (= insertion) order.
+    /// Only non-empty queues are returned; pairs are sorted by device then
+    /// stream index so iteration order is deterministic.
+    pub fn stream_queues(&self) -> Vec<((u32, Stream), Vec<TaskId>)> {
+        let mut queues: std::collections::BTreeMap<(u32, usize), Vec<TaskId>> =
+            std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            queues
+                .entry((t.device, t.stream.index()))
+                .or_default()
+                .push(t.id);
+        }
+        queues
+            .into_iter()
+            .map(|((dev, si), q)| ((dev, Stream::ALL[si]), q))
+            .collect()
+    }
+
+    /// Removes a dependency edge, returning whether it was present. Exists
+    /// for mutation testing (knock out one edge, confirm the static analyzer
+    /// notices); lowering never removes edges.
+    pub fn remove_dep(&mut self, task: TaskId, dep: TaskId) -> bool {
+        let deps = &mut self.tasks[task.index()].deps;
+        match deps.iter().position(|&d| d == dep) {
+            Some(i) => {
+                deps.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Total duration of tasks matching a predicate (work, not wall time).
     pub fn total_work<F: Fn(&Task) -> bool>(&self, pred: F) -> DurNs {
         self.tasks
@@ -326,6 +366,49 @@ mod tests {
             TaskKind::Generic,
             vec![TaskId(5)],
         );
+    }
+
+    #[test]
+    fn dep_edges_and_stream_queues_enumerate_structure() {
+        let mut g = TaskGraph::new(2);
+        let a = g.push("a", 0, Stream::Compute, DurNs(1), TaskKind::Generic, vec![]);
+        let b = g.push(
+            "b",
+            0,
+            Stream::Compute,
+            DurNs(1),
+            TaskKind::Generic,
+            vec![a],
+        );
+        let c = g.push("c", 1, Stream::TpComm, DurNs(1), TaskKind::Generic, vec![a]);
+        g.add_dep(b, c);
+        let edges: Vec<_> = g.dep_edges().collect();
+        assert_eq!(edges, vec![(a, b), (c, b), (a, c)]);
+        let queues = g.stream_queues();
+        assert_eq!(
+            queues,
+            vec![
+                ((0, Stream::Compute), vec![a, b]),
+                ((1, Stream::TpComm), vec![c]),
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_dep_knocks_out_one_edge() {
+        let mut g = TaskGraph::new(1);
+        let a = g.push("a", 0, Stream::Compute, DurNs(1), TaskKind::Generic, vec![]);
+        let b = g.push(
+            "b",
+            0,
+            Stream::Compute,
+            DurNs(1),
+            TaskKind::Generic,
+            vec![a],
+        );
+        assert!(g.remove_dep(b, a));
+        assert!(!g.remove_dep(b, a), "second removal is a no-op");
+        assert!(g.task(b).deps.is_empty());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! assert!(bar.contains("dev  0"));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ascii;
@@ -27,5 +28,5 @@ pub use ascii::render_timeline;
 pub use chrome::{write_chrome_trace, write_chrome_trace_with_annotations, TraceAnnotation};
 pub use compact::compact_timeline;
 pub use stats::{
-    bubble_table, fault_table, planner_search_table, quantile, SearchTiming, TextTable,
+    bubble_table, fault_table, lint_table, planner_search_table, quantile, SearchTiming, TextTable,
 };

@@ -35,6 +35,28 @@ pub fn fault_table(annotations: &[TraceAnnotation]) -> String {
     t.render()
 }
 
+/// Renders a static-analysis report as a table: one row per diagnostic
+/// with its code, severity, message, and first witness. `"lint: clean"`
+/// when the report is empty.
+pub fn lint_table(report: &optimus_lint::LintReport) -> String {
+    if report.is_clean() {
+        return "lint: clean".into();
+    }
+    let mut t = TextTable::new(vec!["Code", "Severity", "Message", "Witness"]);
+    for d in &report.diagnostics {
+        t.row(vec![
+            d.code.code().to_string(),
+            d.severity.label().to_string(),
+            d.message.clone(),
+            d.witness
+                .first()
+                .map(|w| w.detail.clone())
+                .unwrap_or_default(),
+        ]);
+    }
+    t.render()
+}
+
 /// Renders a [`BubbleBreakdown`] in the layout of the paper's Table 1.
 pub fn bubble_table(bd: &BubbleBreakdown) -> String {
     let mut out = String::new();
@@ -232,6 +254,23 @@ mod tests {
     fn mismatched_row_panics() {
         let mut t = TextTable::new(vec!["a", "b"]);
         t.row(vec!["only-one"]);
+    }
+
+    #[test]
+    fn lint_table_renders_report() {
+        use optimus_lint::{DiagCode, Diagnostic, LintReport, Witness};
+        assert_eq!(lint_table(&LintReport::default()), "lint: clean");
+        let report = LintReport {
+            diagnostics: vec![Diagnostic::new(
+                DiagCode::StreamFifoInversion,
+                "queue order contradicts dependency order",
+                vec![Witness::note("task 3 waits for task 5 behind it")],
+            )],
+        };
+        let s = lint_table(&report);
+        assert!(s.contains("OPT002"), "{s}");
+        assert!(s.contains("error"), "{s}");
+        assert!(s.contains("task 3 waits"), "{s}");
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`faults`] — deterministic fault injection (stragglers, degraded
 //!   links, transient stalls, fail-stop) plus drift measurement, feeding
 //!   the adaptive re-planning loop in [`core`];
+//! * [`lint`] — static schedule & task-graph analysis (deadlock,
+//!   collective-mismatch, memory-budget, bubble-insert overlap checks)
+//!   run before any simulation;
 //! * [`trace`] — Chrome-trace export, ASCII timelines, report tables.
 //!
 //! # Examples
@@ -38,12 +41,14 @@
 //! assert!(run.report.iteration_secs > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use optimus_baselines as baselines;
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
 pub use optimus_faults as faults;
+pub use optimus_lint as lint;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;
 pub use optimus_pipeline as pipeline;

@@ -1,0 +1,238 @@
+//! Static-analysis properties across the whole stack: every plan ×
+//! schedule × fault scenario the repository exercises lints clean, a
+//! multi-lane layout `verify` cannot re-simulate is still checked
+//! statically, and a seeded schedule fault surfaces as the typed
+//! `LintFailed` error rather than a panic.
+
+use optimus::baselines::common::SystemContext;
+use optimus::cluster::{DurNs, LinkClass, TimeNs};
+use optimus::core::{
+    lane_collective_spec, lint_run, run_optimus, verify, BubbleScheduler, EncoderWork, LlmProfile,
+    LlmScheduleKind, OptimusConfig, OptimusError,
+};
+use optimus::faults::{FaultModel, FaultScenario};
+use optimus::lint::{lint_graph, Analyzer, DiagCode};
+use optimus::modeling::{MllmConfig, Workload};
+use optimus::parallel::{ColocationLayout, ParallelPlan};
+use optimus::pipeline::{
+    gpipe, interleaved_1f1b, lower, one_f_one_b, simulate_bidirectional, zero_bubble_h1, BidirSpec,
+    Dir, PipelineSpec, StageSpec, TimedKernel,
+};
+
+fn small() -> (Workload, SystemContext) {
+    (
+        Workload::new(MllmConfig::small(), 8, 16, 1),
+        SystemContext::hopper(8).unwrap(),
+    )
+}
+
+fn uniform_spec(pp: u32, vpp: u32, n: u32) -> PipelineSpec {
+    let stage = StageSpec {
+        fwd: vec![
+            TimedKernel {
+                label: "f",
+                dur: DurNs(400),
+                comm: false,
+            },
+            TimedKernel {
+                label: "ag",
+                dur: DurNs(50),
+                comm: true,
+            },
+        ],
+        bwd: vec![
+            TimedKernel {
+                label: "b",
+                dur: DurNs(800),
+                comm: false,
+            },
+            TimedKernel {
+                label: "rs",
+                dur: DurNs(50),
+                comm: true,
+            },
+        ],
+        ..StageSpec::default()
+    };
+    PipelineSpec {
+        pp,
+        vpp,
+        n_microbatches: n,
+        stages: vec![stage; (pp * vpp) as usize],
+        dp_allgather: DurNs(300),
+        dp_reducescatter: DurNs(500),
+        p2p: DurNs(50),
+    }
+}
+
+#[test]
+fn every_plan_and_schedule_kind_lints_clean() {
+    let (w, ctx) = small();
+    // run_optimus defaults to deny mode, so Ok(..) already means no error
+    // diagnostics; assert on the report anyway so a default change cannot
+    // silently weaken this test.
+    for (dp, pp, tp) in [(2, 2, 2), (1, 4, 2), (1, 2, 4)] {
+        let cfg = OptimusConfig::new(ParallelPlan::new(dp, pp, tp).unwrap());
+        let run = run_optimus(&w, &cfg, &ctx).unwrap();
+        assert!(
+            !run.lint.has_errors(),
+            "plan ({dp},{pp},{tp}): {}",
+            run.lint.render()
+        );
+    }
+    let mut zb = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    zb.llm_schedule = LlmScheduleKind::ZeroBubble;
+    assert!(!run_optimus(&w, &zb, &ctx).unwrap().lint.has_errors());
+    let mut frozen = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    frozen.frozen_encoder = true;
+    assert!(!run_optimus(&w, &frozen, &ctx).unwrap().lint.has_errors());
+}
+
+#[test]
+fn every_pipeline_schedule_family_lints_clean() {
+    let spec = uniform_spec(4, 1, 8);
+    for (name, schedule) in [
+        ("1f1b", one_f_one_b(4, 8).unwrap()),
+        ("gpipe", gpipe(4, 8).unwrap()),
+        ("zero-bubble", zero_bubble_h1(4, 8).unwrap()),
+    ] {
+        let lowered = lower(&spec, &schedule, &[]).unwrap();
+        let report = lint_graph(&lowered.graph);
+        assert!(report.is_clean(), "{name}: {}", report.render());
+    }
+    let vspec = uniform_spec(4, 2, 8);
+    let lowered = lower(&vspec, &interleaved_1f1b(4, 2, 8, None).unwrap(), &[]).unwrap();
+    assert!(lint_graph(&lowered.graph).is_clean());
+
+    let base = uniform_spec(4, 1, 8);
+    let bidir = BidirSpec {
+        pp: 4,
+        n_microbatches: 8,
+        stages_down: base.stages.clone(),
+        stages_up: base.stages.clone(),
+        dp_allgather: base.dp_allgather,
+        dp_reducescatter: base.dp_reducescatter,
+        p2p: base.p2p,
+    };
+    let (graph, _result) = simulate_bidirectional(&bidir).unwrap();
+    let report = lint_graph(&graph);
+    assert!(!report.has_errors(), "bidir: {}", report.render());
+}
+
+#[test]
+fn every_fault_scenario_lints_clean() {
+    let (_w, ctx) = small();
+    let lowered = lower(&uniform_spec(4, 1, 8), &one_f_one_b(4, 8).unwrap(), &[]).unwrap();
+    assert!(lint_graph(&lowered.graph).is_clean());
+    let scenarios = [
+        FaultScenario::KernelJitter { eps: 0.1 },
+        FaultScenario::StragglerDevice {
+            device: 1,
+            slowdown: 2.0,
+        },
+        FaultScenario::DegradedLink {
+            class: LinkClass::Rdma,
+            bandwidth_factor: 0.5,
+            latency_factor: 2.0,
+        },
+        FaultScenario::TransientStalls {
+            prob: 0.5,
+            stall: DurNs(1_000),
+            device: None,
+        },
+        FaultScenario::FailStop {
+            device: 2,
+            at: TimeNs(12_000),
+            restart: DurNs(50_000),
+        },
+    ];
+    for sc in scenarios {
+        let model = FaultModel::new(7).with(sc).unwrap();
+        let inj = model.inject(&lowered.graph, &ctx.topo).unwrap();
+        let report = inj.lint();
+        assert!(report.is_clean(), "{sc:?}: {}", report.render());
+    }
+}
+
+#[test]
+fn multi_lane_layout_verify_rejects_is_checked_statically() {
+    // Encoder TP (2) strictly divides LLM TP (4): two concurrent encoder
+    // lanes per LLM TP group. `verify` cannot re-simulate this layout
+    // (its task graph models one device per TP group), so the static
+    // analyzer is the only check it gets.
+    let (w, ctx) = small();
+    let llm_plan = ParallelPlan::new(1, 2, 4).unwrap();
+    let enc_plan = ParallelPlan::new(2, 2, 2).unwrap();
+    let layout = ColocationLayout::new(llm_plan, enc_plan).unwrap();
+    assert!(layout.lanes > 1, "fixture must be multi-lane");
+
+    let profile = LlmProfile::build(&w, &llm_plan, &ctx).unwrap();
+    let work = EncoderWork::build(&w.mllm, &enc_plan, u64::from(w.microbatch_size), &ctx).unwrap();
+    let scheduler = BubbleScheduler::new(&profile, &work, &layout).unwrap();
+    let outcome = scheduler.schedule(64, true).unwrap();
+
+    // Dynamic verification refuses the layout...
+    let cfg = OptimusConfig::new(llm_plan);
+    let mut run = run_optimus(&w, &cfg, &ctx).unwrap();
+    run.enc_plan = enc_plan;
+    run.outcome = outcome.clone();
+    let err = verify(&run, &w, &ctx, 0.05).unwrap_err();
+    assert!(
+        err.to_string().contains("TP_enc == TP_llm"),
+        "unexpected verify error: {err}"
+    );
+
+    // ...while the static analyzer covers it (OPT003 over the per-lane
+    // collective sequences, plus every other pass).
+    let report = lint_run(
+        &outcome,
+        &profile,
+        &layout,
+        enc_plan.tp,
+        &run.memory,
+        ctx.topo.gpu.hbm_capacity,
+    );
+    assert!(!report.has_errors(), "{}", report.render());
+
+    // Mutation: one TP rank skipping the head of its collective sequence
+    // must surface as OPT003.
+    let mut spec = lane_collective_spec(&outcome, enc_plan.tp);
+    let group = spec
+        .groups
+        .iter_mut()
+        .find(|g| !g.ranks.is_empty() && !g.ranks[0].sequence.is_empty())
+        .expect("a lane group with communication kernels");
+    group.ranks[1].sequence.remove(0);
+    let mutated = Analyzer::new().collectives(spec).analyze();
+    assert!(
+        mutated.has(DiagCode::CollectiveOrderMismatch),
+        "{}",
+        mutated.render()
+    );
+}
+
+#[test]
+fn seeded_schedule_fault_is_a_typed_lint_error() {
+    let (w, ctx) = small();
+    let mut cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    cfg.adjust_dep_points = false; // otherwise verify refuses up front
+    let mut run = run_optimus(&w, &cfg, &ctx).unwrap();
+    assert!(verify(&run, &w, &ctx, 0.05).is_ok());
+
+    // Seed a deadlock: rank 0 queues a backward ahead of the forward it
+    // transitively depends on. The lint-before-simulate pass in `verify`
+    // must return the typed error, not hang or panic.
+    let ops = &mut run.profile.schedule.ops[0];
+    let first_bwd = ops.iter().position(|o| o.dir == Dir::Bwd).unwrap();
+    ops.swap(0, first_bwd);
+    match verify(&run, &w, &ctx, 0.05) {
+        Err(OptimusError::LintFailed { diagnostics }) => {
+            assert!(!diagnostics.is_empty());
+            assert!(
+                diagnostics.iter().any(|d| d.contains("OPT")),
+                "{diagnostics:?}"
+            );
+        }
+        other => panic!("expected LintFailed, got {other:?}"),
+    }
+}
