@@ -1,0 +1,33 @@
+//! Calibration closed-loop + fidelity sweep.
+//!
+//! Pass `--smoke` to run only two seeds — the CI configuration. In smoke
+//! mode the bin also asserts the ISSUE acceptance criteria: every fitted
+//! parameter recovers within 2% of the perturbed truth, and the calibrated
+//! model's makespan error is strictly lower than the uncalibrated default's.
+
+use optimus_bench::experiments::calibrate_fidelity;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (report, rows) = calibrate_fidelity::run(smoke);
+    println!("{report}");
+    if smoke {
+        for r in &rows {
+            assert!(
+                r.max_param_err <= 0.02,
+                "seed {}: {} recovered with {:.3}% error (> 2%)",
+                r.seed,
+                r.worst_param,
+                r.max_param_err * 100.0
+            );
+            assert!(
+                r.cal_makespan_err < r.base_makespan_err,
+                "seed {}: calibrated makespan error {:.4} not below uncalibrated {:.4}",
+                r.seed,
+                r.cal_makespan_err,
+                r.base_makespan_err
+            );
+        }
+        eprintln!("smoke assertions passed ({} seeds)", rows.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Calibration closed-loop + fidelity sweep (`optimus-calibrate`).
+//!
+//! For each seed: perturb the Hopper hardware model (the hidden "truth"),
+//! synthesise a kernel/comm log under it, refit a calibration from the log
+//! alone, and score both the default and the calibrated simulator against an
+//! "observed" megatron run executed under the truth. Reports worst-case
+//! parameter recovery error and the makespan-fidelity gap the calibration
+//! closes.
+
+use optimus_baselines::common::SystemContext;
+use optimus_baselines::megatron_lm;
+use optimus_calibrate::{apply_profiles, closed_loop_input, fit, FidelityReport, IngestedTrace};
+use optimus_cluster::ClusterTopology;
+use optimus_modeling::{MllmConfig, Workload};
+use optimus_trace::TextTable;
+
+/// One seed's outcome.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Perturbation / log-synthesis seed.
+    pub seed: u64,
+    /// Worst relative recovery error across the fitted parameter vector.
+    pub max_param_err: f64,
+    /// Name of the worst-recovered parameter.
+    pub worst_param: &'static str,
+    /// Makespan error of the *uncalibrated* (default-model) prediction.
+    pub base_makespan_err: f64,
+    /// Makespan error of the calibrated prediction.
+    pub cal_makespan_err: f64,
+    /// Mean per-stream overlap error of the calibrated prediction.
+    pub cal_overlap_err: f64,
+    /// Compute-bubble agreement of the calibrated prediction.
+    pub bubble_agreement: f64,
+}
+
+/// Log size used for every seed (kernel samples, comm samples).
+pub const LOG_SIZE: (usize, usize) = (60, 64);
+
+fn truth_params(truth: &ClusterTopology) -> [(&'static str, f64); 7] {
+    [
+        ("matmul_efficiency", truth.gpu.matmul_efficiency),
+        ("attention_efficiency", truth.gpu.attention_efficiency),
+        ("membw_efficiency", truth.gpu.membw_efficiency),
+        ("nvlink_bandwidth", truth.nvlink.bandwidth),
+        ("nvlink_latency", truth.nvlink.latency),
+        ("rdma_bandwidth", truth.rdma.bandwidth),
+        ("rdma_latency", truth.rdma.latency),
+    ]
+}
+
+fn run_seed(seed: u64) -> Row {
+    let base32 = ClusterTopology::hopper_cluster(32).expect("cluster");
+    let (truth, log) = closed_loop_input(&base32, seed, LOG_SIZE.0, LOG_SIZE.1);
+    let cal = fit(&base32, &log).expect("fit");
+
+    let (mut max_param_err, mut worst_param) = (0.0_f64, "");
+    for ((name, fitted), (_, tvalue)) in cal.param_vector().iter().zip(truth_params(&truth)) {
+        let rel = (fitted - tvalue).abs() / tvalue.abs();
+        if rel > max_param_err {
+            max_param_err = rel;
+            worst_param = name;
+        }
+    }
+
+    let w = Workload::new(MllmConfig::small(), 8, 4, 1);
+    let ctx = SystemContext::hopper(8).expect("cluster");
+    let true_ctx = ctx.with_topology(apply_profiles(&ctx.topo, &truth));
+
+    let observed_run = megatron_lm(&w, (2, 2, 2), &true_ctx).expect("observed run");
+    let observed =
+        IngestedTrace::from_simulation(&observed_run.lowered.graph, &observed_run.result);
+    let base_run = megatron_lm(&w, (2, 2, 2), &ctx).expect("base run");
+    let predicted_base = IngestedTrace::from_simulation(&base_run.lowered.graph, &base_run.result);
+    let cal_run = megatron_lm(&w, (2, 2, 2), &cal.context(&ctx)).expect("calibrated run");
+    let predicted_cal = IngestedTrace::from_simulation(&cal_run.lowered.graph, &cal_run.result);
+
+    let report_base = FidelityReport::compare(&observed, &predicted_base);
+    let report_cal = FidelityReport::compare(&observed, &predicted_cal);
+    Row {
+        seed,
+        max_param_err,
+        worst_param,
+        base_makespan_err: report_base.makespan_rel_err,
+        cal_makespan_err: report_cal.makespan_rel_err,
+        cal_overlap_err: report_cal.mean_overlap_err,
+        bubble_agreement: report_cal.bubble_agreement,
+    }
+}
+
+/// Runs the sweep; `smoke` restricts it to two seeds (the CI configuration).
+/// Returns (report, rows).
+pub fn run(smoke: bool) -> (String, Vec<Row>) {
+    let seeds: &[u64] = if smoke {
+        &[7, 42]
+    } else {
+        &[3, 7, 11, 42, 99, 123, 500, 2024]
+    };
+    let rows: Vec<Row> = seeds.iter().map(|&s| run_seed(s)).collect();
+
+    let mut out = format!(
+        "== Calibration closed loop + simulator fidelity ({} kernels / {} comms per log) ==\n\
+         truth = perturbed 32-GPU Hopper; observed = megatron 2x2x2 under truth;\n\
+         predictions re-simulate under the default and the refitted model\n\n",
+        LOG_SIZE.0, LOG_SIZE.1
+    );
+    let mut t = TextTable::new(vec![
+        "Seed",
+        "Max param err",
+        "Worst param",
+        "Base mksp err",
+        "Cal mksp err",
+        "Cal overlap err",
+        "Bubble agree",
+    ]);
+    for r in &rows {
+        t.row(vec![
+            r.seed.to_string(),
+            format!("{:.3}%", r.max_param_err * 100.0),
+            r.worst_param.to_string(),
+            format!("{:.2}%", r.base_makespan_err * 100.0),
+            format!("{:.3}%", r.cal_makespan_err * 100.0),
+            format!("{:.3}", r.cal_overlap_err),
+            format!("{:.3}", r.bubble_agreement),
+        ]);
+    }
+    out.push_str(&t.render());
+    let worst = rows.iter().map(|r| r.max_param_err).fold(0.0_f64, f64::max);
+    out.push_str(&format!(
+        "\nworst parameter recovery error across {} seeds: {:.4}%\n",
+        rows.len(),
+        worst * 100.0
+    ));
+    (out, rows)
+}

@@ -2,6 +2,7 @@
 //! report plus structured results for assertions.
 
 pub mod ablations;
+pub mod calibrate_fidelity;
 pub mod extension_hetero;
 pub mod extension_schedules;
 pub mod extension_zb;

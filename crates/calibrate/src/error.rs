@@ -1,0 +1,91 @@
+//! Typed errors for trace ingestion and parameter fitting.
+//!
+//! Ingestion must never panic on hostile input — truncated files, unknown
+//! event phases, reordered events — because traces come from outside the
+//! simulator (real profilers, hand-edited captures). Every malformed input
+//! maps to a variant that names what was wrong and where.
+
+use std::fmt;
+
+use optimus_json::JsonError;
+
+/// Why a trace or kernel log could not be ingested, or a fit could not run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CalibrateError {
+    /// The input was not well-formed JSON (truncated file, stray bytes, ...).
+    Json(JsonError),
+    /// The JSON was well-formed but structurally wrong for the format
+    /// (missing field, wrong type, negative timestamp, unknown enum tag).
+    Format {
+        /// Human-readable description of the violation and its location.
+        context: String,
+    },
+    /// A Chrome-trace event carried a phase the ingester does not model.
+    UnknownPhase {
+        /// The `ph` value encountered.
+        phase: String,
+        /// Index of the offending event in the trace array.
+        index: usize,
+    },
+    /// Within one `(pid, tid)` track, an event started before the previous
+    /// event on that track ended — FIFO stream semantics forbid this, so the
+    /// trace cannot come from a well-formed timeline.
+    OutOfOrder {
+        /// Device (`pid`) of the track.
+        device: u32,
+        /// Track (`tid`) within the device.
+        tid: u32,
+        /// Index of the offending event in the trace array.
+        index: usize,
+        /// End of the previous span on the track, in nanoseconds.
+        prev_end_ns: i64,
+        /// Start of the offending span, in nanoseconds.
+        start_ns: i64,
+    },
+    /// The fit was asked to run with no usable samples at all.
+    NoSamples {
+        /// What the fit needed ("kernel samples", "comm samples").
+        what: String,
+    },
+}
+
+impl fmt::Display for CalibrateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalibrateError::Json(e) => write!(f, "trace is not valid JSON: {e}"),
+            CalibrateError::Format { context } => write!(f, "malformed trace: {context}"),
+            CalibrateError::UnknownPhase { phase, index } => {
+                write!(f, "event {index}: unknown chrome-trace phase `{phase}`")
+            }
+            CalibrateError::OutOfOrder {
+                device,
+                tid,
+                index,
+                prev_end_ns,
+                start_ns,
+            } => write!(
+                f,
+                "event {index}: out-of-order timestamp on device {device} track {tid}: \
+                 span starts at {start_ns}ns before the previous span ends at {prev_end_ns}ns"
+            ),
+            CalibrateError::NoSamples { what } => {
+                write!(f, "nothing to fit: the log contains no {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrateError {}
+
+impl From<JsonError> for CalibrateError {
+    fn from(e: JsonError) -> CalibrateError {
+        CalibrateError::Json(e)
+    }
+}
+
+/// Shorthand for [`CalibrateError::Format`].
+pub(crate) fn format_err<T>(context: impl Into<String>) -> Result<T, CalibrateError> {
+    Err(CalibrateError::Format {
+        context: context.into(),
+    })
+}

@@ -1,0 +1,386 @@
+//! Simulator-fidelity validation: how closely does a (re-)simulated
+//! timeline match an observed one?
+//!
+//! A [`FidelityReport`] compares two [`IngestedTrace`]s — typically an
+//! *observed* trace (ingested from a profiler capture, or the simulation
+//! under the true hardware) against a *predicted* one (the simulation under
+//! a hardware model). Three families of metrics:
+//!
+//! * **per-stream makespan error** — relative error of each `(device,
+//!   stream)` track's end time, plus the global step makespan error;
+//! * **per-interval overlap error** — `1 − |O ∩ P| / |O ∪ P|` over the
+//!   merged busy-interval sets of each track (Jaccard distance on busy
+//!   time): 0 when the timelines coincide exactly, 1 when they never
+//!   overlap;
+//! * **bubble-structure agreement** — per device, how well the compute
+//!   track's interior-gap count and total gap time agree, averaged into a
+//!   single `[0, 1]` score.
+//!
+//! All metrics are pure integer/f64 arithmetic over the traces — comparing
+//! twice yields bit-identical reports.
+
+use optimus_core::Ts;
+use optimus_json::Json;
+use optimus_trace::TextTable;
+
+use crate::ingest::{stream_name, IngestedSpan, IngestedTrace};
+
+/// Fidelity of one `(device, stream)` track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamFidelity {
+    /// Device of the track.
+    pub device: u32,
+    /// Track id (stream index).
+    pub tid: u32,
+    /// Observed busy time (ns).
+    pub observed_busy: Ts,
+    /// Predicted busy time (ns).
+    pub predicted_busy: Ts,
+    /// Relative error of the track's makespan (last span end).
+    pub makespan_rel_err: f64,
+    /// Jaccard distance between observed and predicted busy-interval sets.
+    pub overlap_err: f64,
+}
+
+/// Bubble-structure agreement of one device's compute track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceBubbles {
+    /// The device.
+    pub device: u32,
+    /// Interior-gap count in the observed timeline.
+    pub observed: usize,
+    /// Interior-gap count in the predicted timeline.
+    pub predicted: usize,
+    /// Relative error of total interior-gap time.
+    pub time_rel_err: f64,
+    /// Combined `[0, 1]` agreement score (count × time similarity).
+    pub agreement: f64,
+}
+
+/// The complete fidelity comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityReport {
+    /// Per-track fidelity, ordered by `(device, tid)`.
+    pub streams: Vec<StreamFidelity>,
+    /// Per-device bubble agreement, ordered by device.
+    pub bubbles: Vec<DeviceBubbles>,
+    /// Observed step makespan (ns).
+    pub observed_makespan: Ts,
+    /// Predicted step makespan (ns).
+    pub predicted_makespan: Ts,
+    /// Relative error of the step makespan.
+    pub makespan_rel_err: f64,
+    /// Mean per-track overlap error.
+    pub mean_overlap_err: f64,
+    /// Mean per-device bubble agreement in `[0, 1]` (1 = identical
+    /// bubble structure).
+    pub bubble_agreement: f64,
+}
+
+fn rel_err(observed: Ts, predicted: Ts) -> f64 {
+    (predicted - observed).abs() as f64 / (observed.max(1)) as f64
+}
+
+/// Merges spans into a sorted, disjoint interval set.
+fn merged(spans: &[IngestedSpan]) -> Vec<(Ts, Ts)> {
+    let mut iv: Vec<(Ts, Ts)> = spans
+        .iter()
+        .filter(|s| !s.is_empty())
+        .map(|s| (s.start, s.end))
+        .collect();
+    iv.sort_unstable();
+    let mut out: Vec<(Ts, Ts)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+fn total(iv: &[(Ts, Ts)]) -> Ts {
+    iv.iter().map(|&(s, e)| e - s).sum()
+}
+
+/// Total intersection length of two disjoint sorted interval sets.
+fn intersection(a: &[(Ts, Ts)], b: &[(Ts, Ts)]) -> Ts {
+    let (mut i, mut j, mut acc) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            acc += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    acc
+}
+
+/// Interior gaps of a merged interval set (between first start and last end).
+fn gaps(iv: &[(Ts, Ts)]) -> Vec<(Ts, Ts)> {
+    iv.windows(2)
+        .filter(|w| w[1].0 > w[0].1)
+        .map(|w| (w[0].1, w[1].0))
+        .collect()
+}
+
+/// Similarity of two non-negative magnitudes: `min/max`, 1 when both zero.
+fn similarity(a: f64, b: f64) -> f64 {
+    let hi = a.max(b);
+    if hi <= 0.0 {
+        return 1.0;
+    }
+    a.min(b) / hi
+}
+
+impl FidelityReport {
+    /// Compares a predicted timeline against an observed one.
+    pub fn compare(observed: &IngestedTrace, predicted: &IngestedTrace) -> FidelityReport {
+        let mut keys: Vec<(u32, u32)> = observed
+            .tracks
+            .keys()
+            .chain(predicted.tracks.keys())
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+
+        let mut streams = Vec::with_capacity(keys.len());
+        for (device, tid) in keys.iter().copied() {
+            let o = merged(observed.track(device, tid));
+            let p = merged(predicted.track(device, tid));
+            let o_end = o.last().map(|&(_, e)| e).unwrap_or(0);
+            let p_end = p.last().map(|&(_, e)| e).unwrap_or(0);
+            let inter = intersection(&o, &p);
+            let union = total(&o) + total(&p) - inter;
+            let overlap_err = if union == 0 {
+                0.0
+            } else {
+                1.0 - inter as f64 / union as f64
+            };
+            streams.push(StreamFidelity {
+                device,
+                tid,
+                observed_busy: total(&o),
+                predicted_busy: total(&p),
+                makespan_rel_err: rel_err(o_end, p_end),
+                overlap_err,
+            });
+        }
+
+        let mut devices: Vec<u32> = keys.iter().map(|&(d, _)| d).collect();
+        devices.dedup();
+        let mut bubbles = Vec::with_capacity(devices.len());
+        for device in devices {
+            let o = gaps(&merged(observed.track(device, 0)));
+            let p = gaps(&merged(predicted.track(device, 0)));
+            let (ot, pt) = (total(&o) as f64, total(&p) as f64);
+            bubbles.push(DeviceBubbles {
+                device,
+                observed: o.len(),
+                predicted: p.len(),
+                time_rel_err: (pt - ot).abs() / ot.max(1.0),
+                agreement: similarity(o.len() as f64, p.len() as f64) * similarity(ot, pt),
+            });
+        }
+
+        let observed_makespan = observed.makespan();
+        let predicted_makespan = predicted.makespan();
+        let mean_overlap_err = if streams.is_empty() {
+            0.0
+        } else {
+            streams.iter().map(|s| s.overlap_err).sum::<f64>() / streams.len() as f64
+        };
+        let bubble_agreement = if bubbles.is_empty() {
+            1.0
+        } else {
+            bubbles.iter().map(|b| b.agreement).sum::<f64>() / bubbles.len() as f64
+        };
+
+        FidelityReport {
+            streams,
+            bubbles,
+            observed_makespan,
+            predicted_makespan,
+            makespan_rel_err: rel_err(observed_makespan, predicted_makespan),
+            mean_overlap_err,
+            bubble_agreement,
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("observed_makespan_ns", Json::from(self.observed_makespan)),
+            ("predicted_makespan_ns", Json::from(self.predicted_makespan)),
+            ("makespan_rel_err", Json::Num(self.makespan_rel_err)),
+            ("mean_overlap_err", Json::Num(self.mean_overlap_err)),
+            ("bubble_agreement", Json::Num(self.bubble_agreement)),
+            (
+                "streams",
+                Json::Arr(
+                    self.streams
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("device", Json::from(s.device)),
+                                ("stream", Json::from(stream_name(s.tid))),
+                                ("observed_busy_ns", Json::from(s.observed_busy)),
+                                ("predicted_busy_ns", Json::from(s.predicted_busy)),
+                                ("makespan_rel_err", Json::Num(s.makespan_rel_err)),
+                                ("overlap_err", Json::Num(s.overlap_err)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "bubbles",
+                Json::Arr(
+                    self.bubbles
+                        .iter()
+                        .map(|b| {
+                            Json::obj(vec![
+                                ("device", Json::from(b.device)),
+                                ("observed", Json::from(b.observed as u64)),
+                                ("predicted", Json::from(b.predicted as u64)),
+                                ("time_rel_err", Json::Num(b.time_rel_err)),
+                                ("agreement", Json::Num(b.agreement)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rendered per-track fidelity table plus summary lines.
+    pub fn table(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "Device",
+            "Stream",
+            "Obs busy (ms)",
+            "Pred busy (ms)",
+            "Makespan err",
+            "Overlap err",
+        ]);
+        for s in &self.streams {
+            t.row(vec![
+                s.device.to_string(),
+                stream_name(s.tid).to_string(),
+                format!("{:.3}", s.observed_busy as f64 / 1e6),
+                format!("{:.3}", s.predicted_busy as f64 / 1e6),
+                format!("{:.2}%", s.makespan_rel_err * 100.0),
+                format!("{:.2}%", s.overlap_err * 100.0),
+            ]);
+        }
+        format!(
+            "{}\nmakespan: observed {:.3}ms, predicted {:.3}ms ({:.2}% error)\n\
+             mean overlap error {:.2}%, bubble agreement {:.2}\n",
+            t.render(),
+            self.observed_makespan as f64 / 1e6,
+            self.predicted_makespan as f64 / 1e6,
+            self.makespan_rel_err * 100.0,
+            self.mean_overlap_err * 100.0,
+            self.bubble_agreement
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    type Track = ((u32, u32), Vec<(Ts, Ts)>);
+
+    fn trace(tracks: Vec<Track>) -> IngestedTrace {
+        let mut map = BTreeMap::new();
+        for ((d, tid), spans) in tracks {
+            map.insert(
+                (d, tid),
+                spans
+                    .into_iter()
+                    .map(|(start, end)| IngestedSpan {
+                        label: "k".into(),
+                        cat: "compute".into(),
+                        start,
+                        end,
+                    })
+                    .collect(),
+            );
+        }
+        IngestedTrace {
+            tracks: map,
+            annotations: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_zero_error() {
+        let t = trace(vec![((0, 0), vec![(0, 100), (150, 300)])]);
+        let r = FidelityReport::compare(&t, &t.clone());
+        assert_eq!(r.makespan_rel_err, 0.0);
+        assert_eq!(r.mean_overlap_err, 0.0);
+        assert_eq!(r.bubble_agreement, 1.0);
+        assert_eq!(r.streams[0].observed_busy, 250);
+    }
+
+    #[test]
+    fn disjoint_traces_have_full_overlap_error() {
+        let a = trace(vec![((0, 0), vec![(0, 100)])]);
+        let b = trace(vec![((0, 0), vec![(100, 200)])]);
+        let r = FidelityReport::compare(&a, &b);
+        assert_eq!(r.streams[0].overlap_err, 1.0);
+        assert_eq!(r.makespan_rel_err, 1.0);
+    }
+
+    #[test]
+    fn half_overlap_is_measured() {
+        let a = trace(vec![((0, 0), vec![(0, 100)])]);
+        let b = trace(vec![((0, 0), vec![(50, 150)])]);
+        let r = FidelityReport::compare(&a, &b);
+        // |∩| = 50, |∪| = 150 → error 2/3.
+        assert!((r.streams[0].overlap_err - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bubble_structure_compared_per_device() {
+        // Observed: two gaps totalling 100ns; predicted: one gap of 50ns.
+        let a = trace(vec![((0, 0), vec![(0, 10), (60, 70), (120, 130)])]);
+        let b = trace(vec![((0, 0), vec![(0, 10), (60, 130)])]);
+        let r = FidelityReport::compare(&a, &b);
+        let bub = &r.bubbles[0];
+        assert_eq!((bub.observed, bub.predicted), (2, 1));
+        assert!((bub.agreement - 0.5 * 0.5).abs() < 1e-12);
+        assert!(bub.time_rel_err > 0.0);
+    }
+
+    #[test]
+    fn missing_track_counts_as_empty() {
+        let a = trace(vec![((0, 0), vec![(0, 100)]), ((0, 1), vec![(0, 10)])]);
+        let b = trace(vec![((0, 0), vec![(0, 100)])]);
+        let r = FidelityReport::compare(&a, &b);
+        assert_eq!(r.streams.len(), 2);
+        let tp = r.streams.iter().find(|s| s.tid == 1).unwrap();
+        assert_eq!(tp.predicted_busy, 0);
+        assert_eq!(tp.overlap_err, 1.0);
+    }
+
+    #[test]
+    fn json_and_table_render() {
+        let a = trace(vec![((0, 0), vec![(0, 100)])]);
+        let b = trace(vec![((0, 0), vec![(0, 110)])]);
+        let r = FidelityReport::compare(&a, &b);
+        let js = r.to_json().to_compact();
+        assert!(js.contains("makespan_rel_err"));
+        let table = r.table();
+        assert!(table.contains("compute"), "{table}");
+        assert!(table.contains("makespan"), "{table}");
+    }
+}

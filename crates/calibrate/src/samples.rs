@@ -1,0 +1,369 @@
+//! JSONL kernel-log ingestion: the fitting input format.
+//!
+//! A Chrome trace shows *when* kernels ran but not *what* they did; fitting
+//! the hardware model needs each observation paired with its workload
+//! footprint. The kernel log is one JSON object per line:
+//!
+//! ```text
+//! {"type":"kernel","class":"matmul","flops":2.1e11,"bytes":0,"dur_ns":412345}
+//! {"type":"comm","op":"all_gather","bytes":16777216,"group":8,"link":"nvlink","dur_ns":73500}
+//! {"type":"comm","op":"p2p","bytes":4194304,"link":"rdma","dur_ns":95880}
+//! ```
+//!
+//! `kernel` lines carry a [`KernelClass`], FLOP count, HBM byte count, and
+//! the observed duration; `comm` lines carry the operation, payload, group
+//! size (collectives only), bottleneck link class, and the observed
+//! duration. Blank lines are skipped; anything else is a typed error.
+
+use optimus_cluster::{CollectiveKind, DurNs, KernelClass, LinkClass};
+use optimus_json::Json;
+
+use crate::error::{format_err, CalibrateError};
+
+/// A communication operation observed in a kernel log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommOp {
+    /// Ring all-gather (one pass).
+    AllGather,
+    /// Ring reduce-scatter (one pass).
+    ReduceScatter,
+    /// Ring all-reduce (two passes).
+    AllReduce,
+    /// Broadcast (one pass).
+    Broadcast,
+    /// Point-to-point transfer.
+    P2p,
+}
+
+impl CommOp {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommOp::AllGather => "all_gather",
+            CommOp::ReduceScatter => "reduce_scatter",
+            CommOp::AllReduce => "all_reduce",
+            CommOp::Broadcast => "broadcast",
+            CommOp::P2p => "p2p",
+        }
+    }
+
+    /// Number of ring passes the α–β model charges for this op.
+    pub fn passes(self) -> f64 {
+        match self {
+            CommOp::AllReduce => 2.0,
+            _ => 1.0,
+        }
+    }
+
+    /// The collective kind this op maps to, when it is a collective.
+    pub fn collective_kind(self) -> Option<CollectiveKind> {
+        match self {
+            CommOp::AllGather => Some(CollectiveKind::AllGather),
+            CommOp::ReduceScatter => Some(CollectiveKind::ReduceScatter),
+            CommOp::AllReduce => Some(CollectiveKind::AllReduce),
+            CommOp::Broadcast => Some(CollectiveKind::Broadcast),
+            CommOp::P2p => None,
+        }
+    }
+
+    fn parse(s: &str) -> Option<CommOp> {
+        match s {
+            "all_gather" => Some(CommOp::AllGather),
+            "reduce_scatter" => Some(CommOp::ReduceScatter),
+            "all_reduce" => Some(CommOp::AllReduce),
+            "broadcast" => Some(CommOp::Broadcast),
+            "p2p" => Some(CommOp::P2p),
+            _ => None,
+        }
+    }
+}
+
+fn class_name(class: KernelClass) -> &'static str {
+    match class {
+        KernelClass::Matmul => "matmul",
+        KernelClass::Attention => "attention",
+        KernelClass::MemoryBound => "memory_bound",
+    }
+}
+
+fn parse_class(s: &str) -> Option<KernelClass> {
+    match s {
+        "matmul" => Some(KernelClass::Matmul),
+        "attention" => Some(KernelClass::Attention),
+        "memory_bound" => Some(KernelClass::MemoryBound),
+        _ => None,
+    }
+}
+
+fn link_name(link: LinkClass) -> &'static str {
+    match link {
+        LinkClass::Loopback => "loopback",
+        LinkClass::NvLink => "nvlink",
+        LinkClass::Rdma => "rdma",
+    }
+}
+
+fn parse_link(s: &str) -> Option<LinkClass> {
+    match s {
+        "nvlink" => Some(LinkClass::NvLink),
+        "rdma" => Some(LinkClass::Rdma),
+        _ => None,
+    }
+}
+
+/// One observed compute kernel with its workload footprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSample {
+    /// Kernel class (selects the efficiency parameter being fitted).
+    pub class: KernelClass,
+    /// FLOPs executed.
+    pub flops: f64,
+    /// HBM bytes moved.
+    pub bytes: f64,
+    /// Observed wall-clock duration.
+    pub dur: DurNs,
+}
+
+/// One observed communication operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommSample {
+    /// The operation.
+    pub op: CommOp,
+    /// Total payload in bytes.
+    pub bytes: u64,
+    /// Communicator group size (ignored for [`CommOp::P2p`]).
+    pub group: u32,
+    /// Bottleneck link class of the group / transfer.
+    pub link: LinkClass,
+    /// Observed wall-clock duration.
+    pub dur: DurNs,
+}
+
+/// A parsed kernel log: the complete fitting input.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct KernelLog {
+    /// Compute kernel observations.
+    pub kernels: Vec<KernelSample>,
+    /// Communication observations.
+    pub comms: Vec<CommSample>,
+}
+
+impl KernelLog {
+    /// Parses a JSONL kernel log. Blank lines are skipped.
+    pub fn parse_jsonl(text: &str) -> Result<KernelLog, CalibrateError> {
+        let mut log = KernelLog::default();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let rec = Json::parse(line).map_err(|e| CalibrateError::Format {
+                context: format!("line {}: {e}", lineno + 1),
+            })?;
+            let ctx = |e: optimus_json::JsonError| CalibrateError::Format {
+                context: format!("line {}: {e}", lineno + 1),
+            };
+            let ty = rec.field("type").and_then(|v| v.as_str()).map_err(ctx)?;
+            match ty {
+                "kernel" => {
+                    let class_s = rec.field("class").and_then(|v| v.as_str()).map_err(ctx)?;
+                    let Some(class) = parse_class(class_s) else {
+                        return format_err(format!(
+                            "line {}: unknown kernel class `{class_s}`",
+                            lineno + 1
+                        ));
+                    };
+                    let flops = rec.field("flops").and_then(|v| v.as_f64()).map_err(ctx)?;
+                    let bytes = rec.field("bytes").and_then(|v| v.as_f64()).map_err(ctx)?;
+                    let dur = rec.field("dur_ns").and_then(|v| v.as_u64()).map_err(ctx)?;
+                    if flops < 0.0 || bytes < 0.0 {
+                        return format_err(format!(
+                            "line {}: flops/bytes must be non-negative",
+                            lineno + 1
+                        ));
+                    }
+                    log.kernels.push(KernelSample {
+                        class,
+                        flops,
+                        bytes,
+                        dur: DurNs(dur),
+                    });
+                }
+                "comm" => {
+                    let op_s = rec.field("op").and_then(|v| v.as_str()).map_err(ctx)?;
+                    let Some(op) = CommOp::parse(op_s) else {
+                        return format_err(format!(
+                            "line {}: unknown comm op `{op_s}`",
+                            lineno + 1
+                        ));
+                    };
+                    let bytes = rec.field("bytes").and_then(|v| v.as_u64()).map_err(ctx)?;
+                    let group = match op {
+                        CommOp::P2p => 2,
+                        _ => {
+                            let g = rec.field("group").and_then(|v| v.as_u32()).map_err(ctx)?;
+                            if g < 2 {
+                                return format_err(format!(
+                                    "line {}: collective group size must be >= 2, got {g}",
+                                    lineno + 1
+                                ));
+                            }
+                            g
+                        }
+                    };
+                    let link_s = rec.field("link").and_then(|v| v.as_str()).map_err(ctx)?;
+                    let Some(link) = parse_link(link_s) else {
+                        return format_err(format!(
+                            "line {}: unknown link class `{link_s}`",
+                            lineno + 1
+                        ));
+                    };
+                    let dur = rec.field("dur_ns").and_then(|v| v.as_u64()).map_err(ctx)?;
+                    log.comms.push(CommSample {
+                        op,
+                        bytes,
+                        group,
+                        link,
+                        dur: DurNs(dur),
+                    });
+                }
+                other => {
+                    return format_err(format!(
+                        "line {}: unknown record type `{other}`",
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+        Ok(log)
+    }
+
+    /// Serialises the log back to JSONL (the inverse of
+    /// [`parse_jsonl`](Self::parse_jsonl), byte-stable for golden fixtures).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for k in &self.kernels {
+            let rec = Json::obj(vec![
+                ("type", Json::from("kernel")),
+                ("class", Json::from(class_name(k.class))),
+                ("flops", Json::Num(k.flops)),
+                ("bytes", Json::Num(k.bytes)),
+                ("dur_ns", Json::Num(k.dur.0 as f64)),
+            ]);
+            out.push_str(&rec.to_compact());
+            out.push('\n');
+        }
+        for c in &self.comms {
+            let mut fields = vec![
+                ("type", Json::from("comm")),
+                ("op", Json::from(c.op.name())),
+                ("bytes", Json::Num(c.bytes as f64)),
+            ];
+            if c.op != CommOp::P2p {
+                fields.push(("group", Json::Num(f64::from(c.group))));
+            }
+            fields.push(("link", Json::from(link_name(c.link))));
+            fields.push(("dur_ns", Json::Num(c.dur.0 as f64)));
+            out.push_str(&Json::obj(fields).to_compact());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.kernels.len() + self.comms.len()
+    }
+
+    /// True when the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty() && self.comms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> KernelLog {
+        KernelLog {
+            kernels: vec![
+                KernelSample {
+                    class: KernelClass::Matmul,
+                    flops: 2.5e11,
+                    bytes: 0.0,
+                    dur: DurNs(490_000),
+                },
+                KernelSample {
+                    class: KernelClass::MemoryBound,
+                    flops: 0.0,
+                    bytes: 1.5e9,
+                    dur: DurNs(600_000),
+                },
+            ],
+            comms: vec![
+                CommSample {
+                    op: CommOp::AllGather,
+                    bytes: 1 << 24,
+                    group: 8,
+                    link: LinkClass::NvLink,
+                    dur: DurNs(57_000),
+                },
+                CommSample {
+                    op: CommOp::P2p,
+                    bytes: 1 << 22,
+                    group: 2,
+                    link: LinkClass::Rdma,
+                    dur: DurNs(95_880),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let log = sample_log();
+        let text = log.to_jsonl();
+        let parsed = KernelLog::parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, log);
+        // Byte-stable: re-serialising the parse reproduces the text.
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let text =
+            "\n{\"type\":\"kernel\",\"class\":\"matmul\",\"flops\":1,\"bytes\":0,\"dur_ns\":5}\n\n";
+        let log = KernelLog::parse_jsonl(text).unwrap();
+        assert_eq!(log.kernels.len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        for bad in [
+            "{\"type\":\"kernel\"}",                  // missing fields
+            "{\"type\":\"warp\"}",                    // unknown record type
+            "{\"type\":\"kernel\",\"class\":\"fft\",\"flops\":1,\"bytes\":0,\"dur_ns\":1}",
+            "{\"type\":\"comm\",\"op\":\"gossip\",\"bytes\":1,\"group\":2,\"link\":\"nvlink\",\"dur_ns\":1}",
+            "{\"type\":\"comm\",\"op\":\"all_gather\",\"bytes\":1,\"group\":1,\"link\":\"nvlink\",\"dur_ns\":1}",
+            "{\"type\":\"comm\",\"op\":\"all_gather\",\"bytes\":1,\"group\":4,\"link\":\"carrier_pigeon\",\"dur_ns\":1}",
+            "not json at all",
+        ] {
+            let err = KernelLog::parse_jsonl(bad).unwrap_err();
+            assert!(
+                matches!(err, CalibrateError::Format { .. }),
+                "{bad}: {err:?}"
+            );
+            // Errors carry the 1-based line number.
+            assert!(err.to_string().contains("line 1"), "{err}");
+        }
+    }
+
+    #[test]
+    fn p2p_lines_need_no_group() {
+        let text =
+            "{\"type\":\"comm\",\"op\":\"p2p\",\"bytes\":1024,\"link\":\"nvlink\",\"dur_ns\":3100}";
+        let log = KernelLog::parse_jsonl(text).unwrap();
+        assert_eq!(log.comms[0].group, 2);
+    }
+}

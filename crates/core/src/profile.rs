@@ -68,7 +68,7 @@ impl FreeInterval {
 }
 
 /// Bubble profile of one pipeline-stage device.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceProfile {
     /// Start of the device's first LLM compute kernel (`L_k`): everything
     /// before it — plus arbitrary time before 0 — is the leading region.

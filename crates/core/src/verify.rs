@@ -86,6 +86,9 @@ pub fn verify(
     let lint = optimus_lint::Analyzer::new()
         .graph(&lowered.graph)
         .collectives(optimus_lint::CollectiveSpec::from_graph(&lowered.graph))
+        .collectives(optimus_lint::CollectiveSpec::enc_p2p_from_graph(
+            &lowered.graph,
+        ))
         .namer(|id| lowered.describe(id))
         .analyze();
     if lint.has_errors() {

@@ -15,6 +15,10 @@ use optimus_sim::{Stream, TaskGraph, TaskId};
 
 use crate::diag::{DiagCode, Diagnostic, Witness};
 
+/// One channel's transfers in receive order: (send queue position, producer,
+/// transfer).
+type ChannelEvents = Vec<(usize, TaskId, TaskId)>;
+
 /// One rank's view of a communicator: the ordered collective sequence it
 /// will enqueue.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -106,6 +110,76 @@ impl CollectiveSpec {
             return CollectiveSpec::default();
         }
         CollectiveSpec::new(vec![CommGroup::new("dp", ranks)])
+    }
+
+    /// Derives encoder↔LLM point-to-point channel groups from a task graph.
+    ///
+    /// Every `EncP2p`-stream task is a *receive*: it runs on the consuming
+    /// device and depends on its producer on another device. P2P traffic is
+    /// matched per channel by issue order, exactly like collectives, so for
+    /// each `(source device, source stream, destination device)` channel the
+    /// receive queue must replay the producers' issue order. The send-side
+    /// rank is reconstructed by sorting the channel's transfers by producer
+    /// queue position; the receive-side rank is the `EncP2p` queue order.
+    /// A transfer with no cross-device producer is a receive with no
+    /// matching send — it forms its own group that always diverges.
+    pub fn enc_p2p_from_graph(g: &TaskGraph) -> CollectiveSpec {
+        // Queue position of every task within its (device, stream) FIFO.
+        let mut qpos = vec![0usize; g.len()];
+        for (_, queue) in g.stream_queues() {
+            for (i, &id) in queue.iter().enumerate() {
+                qpos[id.index()] = i;
+            }
+        }
+        let mut groups = Vec::new();
+        for ((dst, stream), queue) in g.stream_queues() {
+            if stream != Stream::EncP2p {
+                continue;
+            }
+            // Per-channel events in receive order.
+            let mut channels: BTreeMap<(u32, usize), ChannelEvents> = BTreeMap::new();
+            for &tr in &queue {
+                let task = g.task(tr);
+                let mut matched = false;
+                for &dep in &task.deps {
+                    let p = g.task(dep);
+                    if p.device == dst {
+                        continue;
+                    }
+                    matched = true;
+                    channels
+                        .entry((p.device, p.stream.index()))
+                        .or_default()
+                        .push((qpos[dep.index()], dep, tr));
+                }
+                if !matched {
+                    let mut recv = CommRank::new(format!("device {dst} recv side"), Vec::new());
+                    recv.push(task.label.to_string(), Some(tr));
+                    groups.push(CommGroup::new(
+                        format!("enc-p2p into device {dst}"),
+                        vec![CommRank::new("send side", Vec::new()), recv],
+                    ));
+                }
+            }
+            for ((src, sstream), events) in channels {
+                let tag = |p: usize, dep: TaskId| format!("{}#{p}", g.task(dep).label);
+                let mut by_send = events.clone();
+                by_send.sort_by_key(|&(p, _, _)| p);
+                let mut send = CommRank::new(format!("device {src} send order"), Vec::new());
+                for &(p, dep, _) in &by_send {
+                    send.push(tag(p, dep), Some(dep));
+                }
+                let mut recv = CommRank::new(format!("device {dst} recv order"), Vec::new());
+                for &(p, dep, tr) in &events {
+                    recv.push(tag(p, dep), Some(tr));
+                }
+                groups.push(CommGroup::new(
+                    format!("enc-p2p device {src}/stream {sstream} -> device {dst}"),
+                    vec![send, recv],
+                ));
+            }
+        }
+        CollectiveSpec::new(groups)
     }
 }
 
@@ -270,6 +344,157 @@ mod tests {
         assert_eq!(diags.len(), 1);
         // The present side of the witness is anchored to the real task.
         assert!(diags[0].witness.iter().any(|w| w.task == Some(TaskId(0))));
+    }
+
+    #[test]
+    fn enc_p2p_receives_in_send_order_are_clean() {
+        let mut g = TaskGraph::new(2);
+        let p0 = g.push(
+            "enc0",
+            0,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![],
+        );
+        let p1 = g.push(
+            "enc1",
+            0,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![p0],
+        );
+        g.push(
+            "act_p2p",
+            1,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![p0],
+        );
+        g.push(
+            "act_p2p",
+            1,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![p1],
+        );
+        let spec = CollectiveSpec::enc_p2p_from_graph(&g);
+        assert_eq!(spec.groups.len(), 1);
+        assert!(check(spec).is_empty());
+    }
+
+    #[test]
+    fn enc_p2p_swapped_receive_order_is_flagged() {
+        let mut g = TaskGraph::new(2);
+        let p0 = g.push(
+            "enc0",
+            0,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![],
+        );
+        let p1 = g.push(
+            "enc1",
+            0,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![p0],
+        );
+        // Receiver enqueues the transfer of the *later* producer first.
+        g.push(
+            "act_p2p",
+            1,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![p1],
+        );
+        g.push(
+            "act_p2p",
+            1,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![p0],
+        );
+        let diags = check(CollectiveSpec::enc_p2p_from_graph(&g));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::CollectiveOrderMismatch);
+        assert!(
+            diags[0].message.contains("position 0"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn enc_p2p_receive_without_send_is_flagged() {
+        let mut g = TaskGraph::new(2);
+        // A receive whose only dependency is on its own device: no matching
+        // cross-device send exists.
+        let local = g.push("k", 1, Stream::Compute, DurNs(5), TaskKind::Generic, vec![]);
+        g.push(
+            "act_p2p",
+            1,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![local],
+        );
+        let diags = check(CollectiveSpec::enc_p2p_from_graph(&g));
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("into device 1"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn enc_p2p_channels_from_different_sources_are_independent() {
+        // Receives from two source devices may interleave arbitrarily; only
+        // per-channel order matters.
+        let mut g = TaskGraph::new(3);
+        let a = g.push(
+            "enc_a",
+            0,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![],
+        );
+        let b = g.push(
+            "enc_b",
+            1,
+            Stream::Compute,
+            DurNs(5),
+            TaskKind::Generic,
+            vec![],
+        );
+        g.push(
+            "act_p2p",
+            2,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![b],
+        );
+        g.push(
+            "act_p2p",
+            2,
+            Stream::EncP2p,
+            DurNs(2),
+            TaskKind::EncLlmTransfer,
+            vec![a],
+        );
+        let spec = CollectiveSpec::enc_p2p_from_graph(&g);
+        assert_eq!(spec.groups.len(), 2);
+        assert!(check(spec).is_empty());
     }
 
     #[test]

@@ -146,11 +146,13 @@ impl<'a> Analyzer<'a> {
 }
 
 /// Lints a bare task graph: structural passes plus the DP-collective
-/// sequence check derived from the graph's own `DpComm` queues.
+/// sequence check derived from the graph's own `DpComm` queues and the
+/// encoder↔LLM p2p channel-order check derived from its `EncP2p` queues.
 pub fn lint_graph(g: &TaskGraph) -> LintReport {
     Analyzer::new()
         .graph(g)
         .collectives(CollectiveSpec::from_graph(g))
+        .collectives(CollectiveSpec::enc_p2p_from_graph(g))
         .analyze()
 }
 

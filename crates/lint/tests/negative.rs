@@ -7,7 +7,10 @@ use optimus_lint::{
     lint_graph, Analyzer, CollectiveSpec, CommGroup, CommRank, DepPoints, DiagCode, IdleInterval,
     InsertClaim, InsertSet, LintReport, MemoryClaim, Severity,
 };
-use optimus_pipeline::{lower, one_f_one_b, PipelineSpec, StageSpec, TimedKernel};
+use optimus_pipeline::{
+    lower, one_f_one_b, Dir, InsertKernel, InsertStream, OpRef, PipelineSpec, StageSpec,
+    TimedKernel,
+};
 use optimus_sim::{Stream, TaskGraph, TaskId, TaskKind};
 
 fn push(g: &mut TaskGraph, label: &'static str, dev: u32, s: Stream, deps: Vec<TaskId>) -> TaskId {
@@ -226,6 +229,91 @@ fn mutation_dropping_dep_edge_orphans_task() {
     assert!(g.remove_dep(recv, send));
     let report = lint_graph(&g);
     assert_only(&report, DiagCode::OrphanTask);
+}
+
+/// A real lowered 1F1B schedule with two encoder inserts on rank 0 whose
+/// activations feed LLM forwards on rank 1 — producing two `act_p2p`
+/// transfers on rank 1's `EncP2p` queue, one channel, in send order.
+fn lowered_with_enc_p2p() -> optimus_pipeline::Lowered {
+    let enc = |microbatch: u32| InsertKernel {
+        device: 0,
+        stream: InsertStream::Compute,
+        label: "enc_f",
+        kind: TaskKind::EncFwd {
+            pipeline: 0,
+            stage: 0,
+            microbatch,
+        },
+        dur: DurNs(200),
+        queue_index: 0,
+        dep_inserts: vec![],
+        dep_ops: vec![],
+        feeds_ops: vec![OpRef {
+            rank: 1,
+            chunk: 0,
+            microbatch,
+            dir: Dir::Fwd,
+        }],
+    };
+    lower(
+        &small_spec(2, 4),
+        &one_f_one_b(2, 4).unwrap(),
+        &[enc(0), enc(1)],
+    )
+    .unwrap()
+}
+
+#[test]
+fn mutation_swapping_enc_p2p_pair_order_breaks_channel() {
+    let lowered = lowered_with_enc_p2p();
+    assert!(
+        lint_graph(&lowered.graph).is_clean(),
+        "{}",
+        lint_graph(&lowered.graph)
+    );
+
+    // Swap the two transfers on rank 1's EncP2p queue: the receive order no
+    // longer replays the send order, so the channel's sequences diverge.
+    let q = lowered.graph.stream_queues();
+    let (_, enc_p2p) = q
+        .iter()
+        .find(|((d, s), _)| *d == 1 && *s == Stream::EncP2p)
+        .expect("rank 1 EncP2p queue");
+    assert_eq!(
+        enc_p2p.len(),
+        2,
+        "fixture should yield exactly two transfers"
+    );
+    let mutated = swap_queue_positions(&lowered.graph, enc_p2p[0], enc_p2p[1]);
+    let report = lint_graph(&mutated);
+    assert!(
+        report.has(DiagCode::CollectiveOrderMismatch),
+        "swapped p2p pair went undetected: {report}"
+    );
+}
+
+#[test]
+fn mutation_dropping_enc_p2p_send_edge_leaves_dangling_receive() {
+    let lowered = lowered_with_enc_p2p();
+    let mut g = lowered.graph.clone();
+    assert!(lint_graph(&g).is_clean());
+
+    // Cut the transfer's edge to its producer: a receive with no matching
+    // send on any channel.
+    let q = g.stream_queues();
+    let (_, enc_p2p) = q
+        .iter()
+        .find(|((d, s), _)| *d == 1 && *s == Stream::EncP2p)
+        .expect("rank 1 EncP2p queue");
+    let tr = enc_p2p[0];
+    let producer = g.task(tr).deps[0];
+    assert_ne!(g.task(producer).device, 1, "dep should be the remote send");
+    assert!(g.remove_dep(tr, producer));
+    let report = lint_graph(&g);
+    assert!(
+        report.has(DiagCode::CollectiveOrderMismatch),
+        "dangling receive went undetected: {report}"
+    );
 }
 
 #[test]

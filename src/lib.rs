@@ -24,7 +24,10 @@
 //! * [`lint`] — static schedule & task-graph analysis (deadlock,
 //!   collective-mismatch, memory-budget, bubble-insert overlap checks)
 //!   run before any simulation;
-//! * [`trace`] — Chrome-trace export, ASCII timelines, report tables.
+//! * [`trace`] — Chrome-trace export, ASCII timelines, report tables;
+//! * [`calibrate`] — trace ingestion, hardware-model calibration from
+//!   kernel logs, and simulator-fidelity validation (the profile→model
+//!   closed loop).
 //!
 //! # Examples
 //!
@@ -45,6 +48,7 @@
 #![warn(missing_docs)]
 
 pub use optimus_baselines as baselines;
+pub use optimus_calibrate as calibrate;
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
 pub use optimus_faults as faults;
