@@ -1,0 +1,41 @@
+//! Checkpoint/restart recovery goodput study.
+//!
+//! Pass `--smoke` for the CI configuration (short horizon); smoke mode also
+//! asserts the closed loop:
+//!
+//! * bubble-placed checkpointing achieves strictly higher goodput than the
+//!   fixed-interval critical-path baseline under the same seeded
+//!   multi-failure trace, and
+//! * the elastic planner's chosen degraded mode beats naive
+//!   wait-for-restart on the device-loss scenario.
+
+use optimus_bench::experiments::recovery;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (report, study) = recovery::run(smoke);
+    println!("{report}");
+    if smoke {
+        assert!(
+            study.bubble.goodput() > study.critical.goodput(),
+            "bubble-placed checkpoints must beat the critical-path baseline: {} vs {}",
+            study.bubble.goodput(),
+            study.critical.goodput()
+        );
+        assert!(
+            study.bubble_plan.spill_ns < study.critical_plan.spill_ns,
+            "bubble placement hid no write time"
+        );
+        assert!(
+            recovery::chose_degraded(&study.decision),
+            "elastic planner fell back to wait-for-restart"
+        );
+        assert!(
+            study.elastic.goodput() > study.wait.goodput(),
+            "elastic mode must beat wait-for-restart: {} vs {}",
+            study.elastic.goodput(),
+            study.wait.goodput()
+        );
+        eprintln!("smoke assertions passed");
+    }
+}

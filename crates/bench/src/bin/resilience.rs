@@ -9,7 +9,7 @@ use optimus_bench::experiments::resilience;
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (report, rows) = resilience::run(smoke);
+    let (report, rows, check) = resilience::run(smoke);
     println!("{report}");
     if smoke {
         for r in &rows {
@@ -24,6 +24,29 @@ fn main() {
                 r.scenario
             );
         }
-        eprintln!("smoke assertions passed ({} scenarios)", rows.len());
+        // Fail-stop + restart: the recovery engine must bring the job back
+        // within the budgeted detection/restore/replay bound, i.e. the
+        // recovered goodput is no worse than the bound allows.
+        let c = check.expect("fail-stop recovery check");
+        assert_eq!(c.goodput.failures, 1, "fail-stop did not fire");
+        assert!(
+            c.goodput.wall_ns <= c.fault_free_wall_ns + c.max_extra_ns,
+            "fail-stop recovery blew the budget: wall {} > {} + {}",
+            c.goodput.wall_ns,
+            c.fault_free_wall_ns,
+            c.max_extra_ns
+        );
+        let bound = c.fault_free_wall_ns as f64 / (c.fault_free_wall_ns + c.max_extra_ns) as f64;
+        let fault_free_goodput = c.goodput.useful_ns as f64 / c.fault_free_wall_ns as f64;
+        assert!(
+            c.goodput.goodput() >= fault_free_goodput * bound,
+            "recovered goodput {} fell below the budgeted bound {}",
+            c.goodput.goodput(),
+            fault_free_goodput * bound
+        );
+        eprintln!(
+            "smoke assertions passed ({} scenarios + fail-stop recovery bound)",
+            rows.len()
+        );
     }
 }

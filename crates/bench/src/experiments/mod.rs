@@ -13,6 +13,7 @@ pub mod fig17;
 pub mod fig3;
 pub mod lint_sweep;
 pub mod planner_scaling;
+pub mod recovery;
 pub mod resilience;
 pub mod table1;
 pub mod table4;

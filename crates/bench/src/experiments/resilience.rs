@@ -15,6 +15,10 @@ use optimus_core::{OptimusRun, ResilienceReport};
 use optimus_faults::{FaultModel, FaultScenario};
 use optimus_modeling::{MllmConfig, Workload};
 use optimus_parallel::ParallelPlan;
+use optimus_recovery::{
+    plan_checkpoints, simulate_lifecycle, CheckpointConfig, FailureTrace, GoodputReport,
+    RecoveryParams,
+};
 use optimus_trace::{fault_table, TextTable};
 
 /// One scenario's outcome.
@@ -111,9 +115,63 @@ fn scenarios(baseline_secs: f64, smoke: bool) -> Vec<(&'static str, FaultModel)>
     ]
 }
 
+/// The fail-stop + restart check run through the recovery engine: one
+/// fail-stop against a bubble-checkpointed horizon, with the worst-case
+/// extra wall the recovery model permits (detection + restart + restore +
+/// one interval of replay). The smoke bin asserts the simulated wall stays
+/// within it — i.e. the recovered goodput is within the budgeted bound.
+#[derive(Debug, Clone)]
+pub struct FailStopCheck {
+    /// Goodput under the fail-stop.
+    pub goodput: GoodputReport,
+    /// Fault-free wall for the same horizon and checkpoint plan, ns.
+    pub fault_free_wall_ns: i64,
+    /// Worst-case extra wall the single fail-stop may cost, ns.
+    pub max_extra_ns: i64,
+}
+
+fn fail_stop_check(
+    run: &OptimusRun,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+) -> Option<FailStopCheck> {
+    // Same burst-buffer storage assumption as the recovery experiment.
+    let topo = ctx.topo.with_storage(optimus_cluster::LinkProfile {
+        bandwidth: 80e9,
+        latency: 100e-6,
+    });
+    let horizon: u32 = 16;
+    let restart = DurNs::from_millis(50);
+    let plan = plan_checkpoints(run, cfg.llm_plan, &topo, &CheckpointConfig::bubble(4)).ok()?;
+    let fail_at = TimeNs((plan.fault_free_wall_ns(horizon) * 3 / 10) as u64);
+    let model = FaultModel::new(105)
+        .with(FaultScenario::FailStop {
+            device: 0,
+            at: fail_at,
+            restart,
+        })
+        .ok()?;
+    let params = RecoveryParams::defaults();
+    let outcome =
+        simulate_lifecycle(&plan, &FailureTrace::from_model(&model), &params, horizon).ok()?;
+    // Worst case: a truncated step, detection, respawn + restore + restart
+    // delay, then replaying a full checkpoint interval.
+    let max_extra_ns = plan.step_ns
+        + params.detection.0 as i64
+        + params.restart_overhead.0 as i64
+        + plan.write_ns
+        + restart.0 as i64
+        + plan.interval_steps as i64 * plan.step_ns;
+    Some(FailStopCheck {
+        goodput: GoodputReport::from_outcome(&outcome),
+        fault_free_wall_ns: plan.fault_free_wall_ns(horizon),
+        max_extra_ns,
+    })
+}
+
 /// Runs the sweep; `smoke` restricts it to the two headline scenarios (the
-/// CI configuration). Returns (report, rows).
-pub fn run(smoke: bool) -> (String, Vec<Row>) {
+/// CI configuration). Returns (report, rows, fail-stop check).
+pub fn run(smoke: bool) -> (String, Vec<Row>, Option<FailStopCheck>) {
     let (run, w, ctx, cfg) = build_run();
     let mut out = format!(
         "== Resilience: fault injection + adaptive re-planning ({} @ {} GPUs) ==\n\
@@ -124,7 +182,7 @@ pub fn run(smoke: bool) -> (String, Vec<Row>) {
     );
     if run.enc_plan.tp != run.profile.llm_plan.tp {
         out.push_str("skipped: chosen encoder plan is not spliceable (TP_enc != TP_llm)\n");
-        return (out, Vec::new());
+        return (out, Vec::new(), None);
     }
 
     let mut rows: Vec<Row> = Vec::new();
@@ -171,7 +229,23 @@ pub fn run(smoke: bool) -> (String, Vec<Row>) {
         ]);
     }
     out.push_str(&t.render());
+
+    let check = fail_stop_check(&run, &cfg, &ctx);
+    if let Some(c) = &check {
+        out.push_str(&format!(
+            "\nfail-stop + restart (recovery engine, {} steps, checkpoint every 4):\n\
+             goodput {:.4} | wall {:.3}s vs fault-free {:.3}s (budget +{:.3}s) | \
+             p50 recovery {:.1} ms\n",
+            c.goodput.horizon_steps,
+            c.goodput.goodput(),
+            c.goodput.wall_ns as f64 / 1e9,
+            c.fault_free_wall_ns as f64 / 1e9,
+            c.max_extra_ns as f64 / 1e9,
+            c.goodput.recovery_p50() / 1e6,
+        ));
+    }
+
     out.push_str("\ninjected fault events:\n");
     out.push_str(&fault_table(&events_out));
-    (out, rows)
+    (out, rows, check)
 }

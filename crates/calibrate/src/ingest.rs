@@ -46,11 +46,14 @@ impl IngestedSpan {
     }
 }
 
-/// One instant annotation recovered from a trace's fault track.
+/// One instant annotation recovered from a trace's fault or recovery track.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IngestedAnnotation {
     /// Annotation label.
     pub label: String,
+    /// Event category (`"fault"`, `"recovery"`; empty on traces written
+    /// before the recovery track existed).
+    pub cat: String,
     /// Device the annotation is attached to.
     pub device: u32,
     /// Instant in nanoseconds.
@@ -159,8 +162,16 @@ impl IngestedTrace {
                         .and_then(|d| d.as_str().ok())
                         .unwrap_or_default()
                         .to_string();
+                    // Lenient: traces written before the recovery track
+                    // carried no meaningful instant category.
+                    let cat = ev
+                        .get("cat")
+                        .and_then(|c| c.as_str().ok())
+                        .unwrap_or_default()
+                        .to_string();
                     trace.annotations.push(IngestedAnnotation {
                         label: get_str(ev, "name", index)?,
+                        cat,
                         device: get_u32(ev, "pid", index)?,
                         at: ns(ts),
                         detail,
@@ -319,6 +330,7 @@ pub fn stream_name(tid: u32) -> &'static str {
         3 => "dp_comm",
         4 => "enc_p2p",
         5 => "annot",
+        6 => "recovery",
         _ => "other",
     }
 }
@@ -465,9 +477,38 @@ mod tests {
         assert_eq!(t.annotations.len(), 1);
         let a = &t.annotations[0];
         assert_eq!(a.label, "straggler");
+        assert_eq!(a.cat, "fault");
         assert_eq!(a.device, 1);
         assert_eq!(a.at, 750);
         assert_eq!(a.detail, "slowdown 1.5x");
+    }
+
+    #[test]
+    fn recovery_instants_keep_their_category() {
+        let (g, r) = two_device_graph();
+        let faults = [optimus_trace::TraceAnnotation {
+            label: "fail_stop".into(),
+            device: 0,
+            at_us: 0.1,
+            detail: "restart".into(),
+        }];
+        let recovery = [optimus_trace::TraceAnnotation {
+            label: "rollback".into(),
+            device: 0,
+            at_us: 0.3,
+            detail: "to ckpt 2".into(),
+        }];
+        let mut buf = Vec::new();
+        optimus_trace::write_chrome_trace_with_recovery(&g, &r, &faults, &recovery, &mut buf)
+            .unwrap();
+        let t = IngestedTrace::parse_chrome(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let cats: Vec<&str> = t.annotations.iter().map(|a| a.cat.as_str()).collect();
+        assert_eq!(cats, vec!["fault", "recovery"]);
+        // A category-less instant (pre-recovery trace) still parses.
+        let legacy = r#"[{"name":"x","ph":"i","s":"t","ts":1,"pid":0,"tid":5}]"#;
+        let t = IngestedTrace::parse_chrome(legacy).unwrap();
+        assert_eq!(t.annotations[0].cat, "");
+        assert_eq!(stream_name(6), "recovery");
     }
 
     #[test]

@@ -100,6 +100,7 @@ fn link_name(link: LinkClass) -> &'static str {
         LinkClass::Loopback => "loopback",
         LinkClass::NvLink => "nvlink",
         LinkClass::Rdma => "rdma",
+        LinkClass::Storage => "storage",
     }
 }
 
@@ -107,6 +108,7 @@ fn parse_link(s: &str) -> Option<LinkClass> {
     match s {
         "nvlink" => Some(LinkClass::NvLink),
         "rdma" => Some(LinkClass::Rdma),
+        "storage" => Some(LinkClass::Storage),
         _ => None,
     }
 }

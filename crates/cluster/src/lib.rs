@@ -37,4 +37,4 @@ pub use error::ClusterError;
 pub use group::ProcessGroup;
 pub use hardware::{GpuProfile, KernelClass};
 pub use time::{DurNs, TimeNs};
-pub use topology::{ClusterTopology, DeviceId, LinkClass, LinkProfile};
+pub use topology::{storage_default, ClusterTopology, DeviceId, LinkClass, LinkProfile};

@@ -25,6 +25,8 @@ pub enum LinkClass {
     NvLink,
     /// Inter-node RDMA NIC.
     Rdma,
+    /// GPU ↔ durable checkpoint storage (parallel filesystem / object store).
+    Storage,
 }
 
 /// Bandwidth/latency description of one link class.
@@ -61,6 +63,8 @@ pub struct ClusterTopology {
     pub nvlink: LinkProfile,
     /// Inter-node RDMA link profile.
     pub rdma: LinkProfile,
+    /// Per-rank durable-storage link profile (checkpoint writes/reads).
+    pub storage: LinkProfile,
 }
 
 impl ClusterTopology {
@@ -116,7 +120,15 @@ impl ClusterTopology {
             gpus_per_node: per_node,
             nvlink,
             rdma,
+            storage: storage_default(),
         })
+    }
+
+    /// This topology with the durable-storage link profile replaced.
+    pub fn with_storage(&self, profile: LinkProfile) -> ClusterTopology {
+        let mut t = self.clone();
+        t.storage = profile;
+        t
     }
 
     /// Total number of GPUs in the cluster.
@@ -155,6 +167,7 @@ impl ClusterTopology {
             },
             LinkClass::NvLink => self.nvlink,
             LinkClass::Rdma => self.rdma,
+            LinkClass::Storage => self.storage,
         }
     }
 
@@ -167,6 +180,7 @@ impl ClusterTopology {
             LinkClass::Loopback => {}
             LinkClass::NvLink => t.nvlink = profile,
             LinkClass::Rdma => t.rdma = profile,
+            LinkClass::Storage => t.storage = profile,
         }
         t
     }
@@ -197,6 +211,15 @@ pub fn rdma_default() -> LinkProfile {
     LinkProfile {
         bandwidth: 50e9,
         latency: 12e-6,
+    }
+}
+
+/// Default durable-storage profile: parallel-filesystem checkpoint lane,
+/// ~2 GB/s sustained per rank and ~500 µs open/commit latency.
+pub fn storage_default() -> LinkProfile {
+    LinkProfile {
+        bandwidth: 2e9,
+        latency: 500e-6,
     }
 }
 
@@ -236,6 +259,18 @@ mod tests {
         assert_eq!(t.link_class(DeviceId(0), DeviceId(0)), LinkClass::Loopback);
         assert_eq!(t.link_class(DeviceId(0), DeviceId(7)), LinkClass::NvLink);
         assert_eq!(t.link_class(DeviceId(0), DeviceId(8)), LinkClass::Rdma);
+    }
+
+    #[test]
+    fn storage_link_is_part_of_the_topology() {
+        let t = ClusterTopology::hopper_cluster(8).unwrap();
+        assert_eq!(t.link_profile(LinkClass::Storage), storage_default());
+        let slow = storage_default().degraded(0.25, 2.0);
+        let t2 = t.with_link_profile(LinkClass::Storage, slow);
+        assert_eq!(t2.storage, slow);
+        assert_eq!(t.with_storage(slow).storage, slow);
+        // Peer link classification never yields the storage class.
+        assert_ne!(t.link_class(DeviceId(0), DeviceId(1)), LinkClass::Storage);
     }
 
     #[test]

@@ -248,6 +248,11 @@ impl FaultModel {
                     device,
                     at,
                     restart,
+                }
+                | FaultScenario::DeviceLoss {
+                    device,
+                    at,
+                    repair: restart,
                 } => {
                     if baseline.is_none() {
                         let r = simulate(graph).map_err(|e| FaultError::Sim(e.to_string()))?;

@@ -66,6 +66,21 @@ pub enum FaultScenario {
         /// Checkpoint-restart cost.
         restart: DurNs,
     },
+    /// Permanent loss of one device at time `at` (hardware death, node
+    /// eviction): the device does not come back until `repair` later.
+    /// Graph-level injection models the conservative wait-for-repair
+    /// baseline — the interrupted task absorbs the full repair pause, like
+    /// [`FaultScenario::FailStop`] with `restart = repair` — while
+    /// `optimus-recovery` consumes the same scenario to drive elastic
+    /// degraded-mode planning across steps.
+    DeviceLoss {
+        /// The lost device.
+        device: u32,
+        /// Loss instant on the unperturbed timeline.
+        at: TimeNs,
+        /// Time until a replacement device joins, `> 0`.
+        repair: DurNs,
+    },
 }
 
 impl FaultScenario {
@@ -115,6 +130,13 @@ impl FaultScenario {
                 }
             }
             FaultScenario::FailStop { .. } => {}
+            FaultScenario::DeviceLoss { repair, .. } => {
+                if repair.0 == 0 {
+                    return Err(FaultError::Invalid(
+                        "device-loss repair time must be positive".into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -133,10 +155,12 @@ impl FaultScenario {
             FaultScenario::DegradedLink { class, .. } => match class {
                 LinkClass::NvLink => "degraded_nvlink",
                 LinkClass::Rdma => "degraded_rdma",
+                LinkClass::Storage => "degraded_storage",
                 LinkClass::Loopback => "degraded_loopback",
             },
             FaultScenario::TransientStalls { .. } => "transient_stalls",
             FaultScenario::FailStop { .. } => "fail_stop",
+            FaultScenario::DeviceLoss { .. } => "device_loss",
         }
     }
 
@@ -183,6 +207,20 @@ mod tests {
         }
         .validate()
         .is_ok());
+        assert!(FaultScenario::DeviceLoss {
+            device: 2,
+            at: TimeNs(1000),
+            repair: DurNs::from_millis(30_000)
+        }
+        .validate()
+        .is_ok());
+        assert!(FaultScenario::DegradedLink {
+            class: LinkClass::Storage,
+            bandwidth_factor: 0.5,
+            latency_factor: 2.0
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
@@ -222,6 +260,13 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(FaultScenario::DeviceLoss {
+            device: 0,
+            at: TimeNs(0),
+            repair: DurNs(0)
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]
@@ -238,6 +283,30 @@ mod tests {
             restart: DurNs(1)
         }
         .is_degrading());
+        assert!(FaultScenario::DeviceLoss {
+            device: 0,
+            at: TimeNs(0),
+            repair: DurNs(1)
+        }
+        .is_degrading());
+        assert_eq!(
+            FaultScenario::DeviceLoss {
+                device: 0,
+                at: TimeNs(0),
+                repair: DurNs(1)
+            }
+            .label(),
+            "device_loss"
+        );
+        assert_eq!(
+            FaultScenario::DegradedLink {
+                class: LinkClass::Storage,
+                bandwidth_factor: 0.5,
+                latency_factor: 1.0
+            }
+            .label(),
+            "degraded_storage"
+        );
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Durable-checkpoint coverage (OPT007).
+//!
+//! The recovery engine's invariant is that no stretch of committed training
+//! work longer than the configured checkpoint interval runs without a durable
+//! checkpoint — otherwise a fail-stop rolls the job back further than the
+//! operator budgeted for. This pass is the static mirror: given the claimed
+//! durable-checkpoint instants over a schedule segment, it warns on every
+//! gap (segment start → first checkpoint, consecutive checkpoints, last
+//! checkpoint → segment end) that exceeds the interval.
+
+use crate::diag::{DiagCode, Diagnostic, Witness};
+use crate::inserts::Time;
+
+/// Durable-checkpoint claims over one schedule segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CheckpointSpec {
+    /// Display name ("step horizon", "pipeline replica 0", ...).
+    pub name: String,
+    /// Maximum tolerated time between durable points, `> 0`.
+    pub interval: Time,
+    /// Covered segment `[start, end)`.
+    pub span: (Time, Time),
+    /// `(instant, label)` of each claimed durable checkpoint.
+    pub durable: Vec<(Time, String)>,
+}
+
+impl CheckpointSpec {
+    /// A spec with no durable points yet.
+    pub fn new(name: impl Into<String>, interval: Time, span: (Time, Time)) -> CheckpointSpec {
+        CheckpointSpec {
+            name: name.into(),
+            interval,
+            span,
+            durable: Vec::new(),
+        }
+    }
+
+    /// Adds a durable-checkpoint instant; returns `self` for chaining.
+    pub fn durable_at(mut self, at: Time, label: impl Into<String>) -> CheckpointSpec {
+        self.durable.push((at, label.into()));
+        self
+    }
+}
+
+/// Runs OPT007 over a checkpoint spec: every uncovered gap longer than the
+/// interval warns, naming the bounding checkpoints.
+pub(crate) fn check_checkpoints(spec: &CheckpointSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let (start, end) = spec.span;
+    if spec.interval <= 0 || end <= start {
+        out.push(Diagnostic::new(
+            DiagCode::MissingCheckpoint,
+            format!(
+                "{}: unusable checkpoint spec (interval {}, span [{start}, {end}))",
+                spec.name, spec.interval
+            ),
+            vec![],
+        ));
+        return out;
+    }
+    // Walk the durable points in time order, bounded by the segment edges.
+    let mut points: Vec<(Time, &str)> = spec
+        .durable
+        .iter()
+        .filter(|(at, _)| (start..end).contains(at))
+        .map(|(at, label)| (*at, label.as_str()))
+        .collect();
+    points.sort_by_key(|&(at, _)| at);
+    let mut bounds: Vec<(Time, String)> = Vec::with_capacity(points.len() + 2);
+    bounds.push((start, "segment start".into()));
+    for (at, label) in points {
+        bounds.push((at, format!("checkpoint `{label}`")));
+    }
+    bounds.push((end, "segment end".into()));
+    for pair in bounds.windows(2) {
+        let (a_at, a_name) = (&pair[0].0, &pair[0].1);
+        let (b_at, b_name) = (&pair[1].0, &pair[1].1);
+        let gap = b_at - a_at;
+        if gap > spec.interval {
+            out.push(Diagnostic::new(
+                DiagCode::MissingCheckpoint,
+                format!(
+                    "{}: {gap} ns between {a_name} and {b_name} exceeds the \
+                     checkpoint interval {} ns — a failure there rolls back \
+                     more work than budgeted",
+                    spec.name, spec.interval
+                ),
+                vec![
+                    Witness::note(format!("{a_name} at {a_at}")),
+                    Witness::note(format!("{b_name} at {b_at}")),
+                ],
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covered_segment_is_clean() {
+        let spec = CheckpointSpec::new("horizon", 100, (0, 250))
+            .durable_at(90, "ckpt0")
+            .durable_at(180, "ckpt1");
+        assert!(check_checkpoints(&spec).is_empty());
+    }
+
+    #[test]
+    fn no_checkpoints_over_a_long_segment_warns() {
+        let spec = CheckpointSpec::new("horizon", 100, (0, 250));
+        let diags = check_checkpoints(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::MissingCheckpoint);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert!(
+            diags[0].message.contains("segment start"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn each_oversized_gap_warns_separately() {
+        let spec = CheckpointSpec::new("h", 100, (0, 400)).durable_at(150, "only");
+        // start→150 and 150→400 both exceed 100.
+        let diags = check_checkpoints(&spec);
+        assert_eq!(diags.len(), 2);
+        assert!(diags[1].message.contains("`only`"), "{}", diags[1].message);
+    }
+
+    #[test]
+    fn out_of_span_points_do_not_count() {
+        let spec = CheckpointSpec::new("h", 100, (0, 150)).durable_at(500, "beyond");
+        assert_eq!(check_checkpoints(&spec).len(), 1);
+    }
+
+    #[test]
+    fn unusable_spec_is_one_warning() {
+        let spec = CheckpointSpec::new("h", 0, (0, 100));
+        let diags = check_checkpoints(&spec);
+        assert_eq!(diags.len(), 1);
+        assert!(
+            diags[0].message.contains("unusable"),
+            "{}",
+            diags[0].message
+        );
+        assert_eq!(
+            check_checkpoints(&CheckpointSpec::new("h", 10, (5, 5))).len(),
+            1
+        );
+    }
+}

@@ -27,17 +27,22 @@ pub enum DiagCode {
     /// OPT006: a task with no dependency edges, alone on its stream queue —
     /// disconnected from the rest of the step.
     OrphanTask,
+    /// OPT007: a schedule segment longer than the configured checkpoint
+    /// interval carries no durable checkpoint claim — a failure there rolls
+    /// back more work than the recovery budget allows.
+    MissingCheckpoint,
 }
 
 impl DiagCode {
     /// All codes, in numeric order.
-    pub const ALL: [DiagCode; 6] = [
+    pub const ALL: [DiagCode; 7] = [
         DiagCode::Cycle,
         DiagCode::StreamFifoInversion,
         DiagCode::CollectiveOrderMismatch,
         DiagCode::MemoryOverBudget,
         DiagCode::BubbleInsertOverlap,
         DiagCode::OrphanTask,
+        DiagCode::MissingCheckpoint,
     ];
 
     /// The stable code string (`OPT001` …).
@@ -49,6 +54,7 @@ impl DiagCode {
             DiagCode::MemoryOverBudget => "OPT004",
             DiagCode::BubbleInsertOverlap => "OPT005",
             DiagCode::OrphanTask => "OPT006",
+            DiagCode::MissingCheckpoint => "OPT007",
         }
     }
 
@@ -61,14 +67,16 @@ impl DiagCode {
             DiagCode::MemoryOverBudget => "memory-over-budget",
             DiagCode::BubbleInsertOverlap => "bubble-insert-overlap",
             DiagCode::OrphanTask => "orphan-task",
+            DiagCode::MissingCheckpoint => "missing-durable-checkpoint",
         }
     }
 
-    /// The severity this pass reports at. Orphan tasks are suspicious but
-    /// harmless to execution, so they warn; everything else is an error.
+    /// The severity this pass reports at. Orphan tasks and missing durable
+    /// checkpoints are suspicious but harmless to execution, so they warn;
+    /// everything else is an error.
     pub fn default_severity(self) -> Severity {
         match self {
-            DiagCode::OrphanTask => Severity::Warning,
+            DiagCode::OrphanTask | DiagCode::MissingCheckpoint => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -288,7 +296,7 @@ mod tests {
         let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            vec!["OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006"]
+            vec!["OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006", "OPT007"]
         );
         assert!(Severity::Warning < Severity::Error);
     }

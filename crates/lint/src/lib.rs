@@ -15,6 +15,7 @@
 //! | OPT004 | `memory-over-budget`        | static per-device peak memory exceeds HBM capacity |
 //! | OPT005 | `bubble-insert-overlap`     | an inserted kernel escapes its claimed idle interval, overlaps a sibling, breaks chain order, or violates a dependency point |
 //! | OPT006 | `orphan-task`               | a task with no dependency edges, alone on its stream queue — a mis-wired insert |
+//! | OPT007 | `missing-durable-checkpoint` | a schedule segment longer than the configured checkpoint interval carries no durable checkpoint claim |
 //!
 //! Passes are composed through [`Analyzer`]; [`lint_graph`] is the one-call
 //! entry point for pure task-graph checks (OPT001/002/006 plus the
@@ -42,12 +43,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod collective;
 pub mod diag;
 pub mod graph;
 pub mod inserts;
 pub mod memory;
 
+pub use checkpoint::CheckpointSpec;
 pub use collective::{CollectiveSpec, CommGroup, CommRank};
 pub use diag::{DiagCode, Diagnostic, LintReport, Severity, Witness};
 pub use inserts::{DepPoints, IdleInterval, InsertClaim, InsertSet};
@@ -71,6 +74,7 @@ pub struct Analyzer<'a> {
     memory: Vec<MemoryClaim>,
     inserts: Option<InsertSet>,
     dep_points: Option<DepPoints>,
+    checkpoints: Vec<CheckpointSpec>,
     namer: Option<Namer<'a>>,
 }
 
@@ -112,6 +116,12 @@ impl<'a> Analyzer<'a> {
         self
     }
 
+    /// Attaches a durable-checkpoint coverage spec: enables OPT007.
+    pub fn checkpoints(mut self, spec: CheckpointSpec) -> Analyzer<'a> {
+        self.checkpoints.push(spec);
+        self
+    }
+
     /// Substitutes a task namer for witness rendering.
     pub fn namer(mut self, f: impl Fn(TaskId) -> String + 'a) -> Analyzer<'a> {
         self.namer = Some(Box::new(f));
@@ -139,6 +149,9 @@ impl<'a> Analyzer<'a> {
         }
         if let Some(dp) = &self.dep_points {
             diagnostics.extend(inserts::check_dep_points(dp));
+        }
+        for spec in &self.checkpoints {
+            diagnostics.extend(checkpoint::check_checkpoints(spec));
         }
         diagnostics.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.code));
         LintReport { diagnostics }

@@ -4,8 +4,8 @@
 
 use optimus_cluster::DurNs;
 use optimus_lint::{
-    lint_graph, Analyzer, CollectiveSpec, CommGroup, CommRank, DepPoints, DiagCode, IdleInterval,
-    InsertClaim, InsertSet, LintReport, MemoryClaim, Severity,
+    lint_graph, Analyzer, CheckpointSpec, CollectiveSpec, CommGroup, CommRank, DepPoints, DiagCode,
+    IdleInterval, InsertClaim, InsertSet, LintReport, MemoryClaim, Severity,
 };
 use optimus_pipeline::{
     lower, one_f_one_b, Dir, InsertKernel, InsertStream, OpRef, PipelineSpec, StageSpec,
@@ -124,6 +124,29 @@ fn opt006_orphan_task() {
         .diagnostics
         .iter()
         .all(|d| d.severity == Severity::Warning));
+}
+
+#[test]
+fn opt007_missing_checkpoint() {
+    // A 5-step segment with a 1-step checkpoint budget, but the only durable
+    // point sits at step 1: the remaining 4-step stretch is uncovered.
+    let step = 1_000_000i64;
+    let spec = CheckpointSpec::new("step horizon", step, (0, 5 * step)).durable_at(step, "ckpt@1");
+    let report = Analyzer::new().checkpoints(spec).analyze();
+    assert_only(&report, DiagCode::MissingCheckpoint);
+    // Coverage gaps warn; they block nothing at execution time.
+    assert!(!report.has_errors());
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.severity == Severity::Warning));
+
+    // The covered variant is clean: one durable point per interval.
+    let mut covered = CheckpointSpec::new("step horizon", step, (0, 5 * step));
+    for k in 1..5 {
+        covered = covered.durable_at(k * step, format!("ckpt@{k}"));
+    }
+    assert!(Analyzer::new().checkpoints(covered).analyze().is_clean());
 }
 
 // ---------------------------------------------------------------- mutations

@@ -1,0 +1,371 @@
+//! Checkpoint cost model and bubble-placed snapshot scheduling.
+//!
+//! A durable checkpoint writes each rank's model states + sharded optimizer
+//! states over the cluster's storage link. The write is chunked and — under
+//! the [`PlacementPolicy::Bubble`] policy — scheduled into the schedule's
+//! *proven-idle* compute bubbles (the same OPT005 claim machinery the
+//! encoder inserts are checked against), so most of the write cost hides
+//! behind work the step is doing anyway. Whatever does not fit the bubble
+//! capacity across one checkpoint interval spills onto the critical path as
+//! a per-interval stall. The [`PlacementPolicy::CriticalPath`] baseline
+//! spills the entire write.
+
+use optimus_cluster::{ClusterTopology, LinkProfile};
+use optimus_core::{idle_intervals, schedule_insert_set, OptimusRun};
+use optimus_lint::{Analyzer, CheckpointSpec, InsertClaim, InsertSet, LintReport, Severity};
+use optimus_modeling::MemoryEstimate;
+use optimus_parallel::ColocationLayout;
+
+use crate::error::RecoveryError;
+
+/// Where checkpoint shard writes are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementPolicy {
+    /// Chunk the write into the schedule's proven-idle compute bubbles;
+    /// only the remainder spills onto the critical path.
+    Bubble,
+    /// Fixed-interval baseline: the whole write stalls the step (what a
+    /// synchronous `torch.save`-style checkpoint does).
+    CriticalPath,
+}
+
+impl PlacementPolicy {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::Bubble => "bubble",
+            PlacementPolicy::CriticalPath => "critical-path",
+        }
+    }
+}
+
+/// Checkpointing configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointConfig {
+    /// Steps between durable checkpoints (`> 0`).
+    pub interval_steps: u32,
+    /// Shard-write placement policy.
+    pub policy: PlacementPolicy,
+}
+
+impl CheckpointConfig {
+    /// Bubble-placed checkpoints every `interval_steps`.
+    pub fn bubble(interval_steps: u32) -> CheckpointConfig {
+        CheckpointConfig {
+            interval_steps,
+            policy: PlacementPolicy::Bubble,
+        }
+    }
+
+    /// Critical-path baseline every `interval_steps`.
+    pub fn critical_path(interval_steps: u32) -> CheckpointConfig {
+        CheckpointConfig {
+            interval_steps,
+            policy: PlacementPolicy::CriticalPath,
+        }
+    }
+}
+
+/// A priced, placed checkpoint schedule for one training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointPlan {
+    /// Placement policy the plan was built under.
+    pub policy: PlacementPolicy,
+    /// Steps between durable checkpoints.
+    pub interval_steps: u32,
+    /// Simulated devices (pipeline stages) in the schedule.
+    pub num_ranks: u32,
+    /// Snapshot bytes per rank (model states + sharded optimizer states).
+    pub bytes_per_rank: u64,
+    /// Full shard write (or restore read) time over the storage link, ns.
+    pub write_ns: i64,
+    /// Fault-free step latency of the underlying schedule, ns.
+    pub step_ns: i64,
+    /// Critical-path stall per checkpoint interval after bubble hiding, ns.
+    pub spill_ns: i64,
+    /// Per-device free bubble capacity per step (after existing encoder
+    /// claims), ns.
+    pub bubble_capacity_ns: Vec<i64>,
+    /// The checkpoint shard-write claims (empty for the critical-path
+    /// policy), expressed in the OPT005 claim model.
+    pub claims: Vec<InsertClaim>,
+    /// The combined insert set: the schedule's own encoder claims plus the
+    /// checkpoint claims, against the profile's proven-idle intervals.
+    pub insert_set: InsertSet,
+}
+
+/// Snapshot bytes per rank: resident model states + sharded optimizer
+/// states. Activations are recomputed after restore and are not persisted.
+pub fn snapshot_bytes(memory: &MemoryEstimate) -> u64 {
+    memory.model_states + memory.optimizer
+}
+
+/// Time to move `bytes` over a storage link, in integer nanoseconds.
+pub fn storage_time_ns(bytes: u64, storage: &LinkProfile) -> i64 {
+    let secs = storage.latency + bytes as f64 / storage.bandwidth;
+    (secs * 1e9).round() as i64
+}
+
+/// Subtracts sorted, merged `busy` spans from `iv`, returning the remaining
+/// free sub-intervals in time order.
+fn subtract_busy(iv: (i64, i64), busy: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    let (mut cur, end) = iv;
+    for &(bs, be) in busy {
+        if be <= cur {
+            continue;
+        }
+        if bs >= end {
+            break;
+        }
+        if bs > cur {
+            out.push((cur, bs.min(end)));
+        }
+        cur = cur.max(be);
+        if cur >= end {
+            break;
+        }
+    }
+    if cur < end {
+        out.push((cur, end));
+    }
+    out
+}
+
+/// Merges sorted spans, coalescing overlaps.
+fn merge_spans(mut spans: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    spans.sort_unstable();
+    let mut out: Vec<(i64, i64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        if e <= s {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Prices and places a checkpoint schedule for one Optimus run.
+///
+/// The free capacity a device offers per step is its proven-idle compute
+/// bubbles (clipped to the step `[0, makespan)`) minus every span the
+/// schedule already claims there for relocated encoder work — on *any* lane,
+/// because a shard write occupies the device's copy/compute engine outright.
+pub fn plan_checkpoints(
+    run: &OptimusRun,
+    llm_plan: optimus_parallel::ParallelPlan,
+    topo: &ClusterTopology,
+    cfg: &CheckpointConfig,
+) -> Result<CheckpointPlan, RecoveryError> {
+    if cfg.interval_steps == 0 {
+        return Err(RecoveryError::Invalid(
+            "checkpoint interval must be >= 1 step".into(),
+        ));
+    }
+    let step_ns = run.outcome.latency;
+    if step_ns <= 0 {
+        return Err(RecoveryError::Invalid(format!(
+            "non-positive step latency {step_ns}"
+        )));
+    }
+    let layout = ColocationLayout::new(llm_plan, run.enc_plan)
+        .map_err(|e| RecoveryError::Plan(e.to_string()))?;
+    let base = schedule_insert_set(&run.outcome, &run.profile, &layout);
+
+    let bytes = snapshot_bytes(&run.memory);
+    let write_ns = storage_time_ns(bytes, &topo.storage);
+    let num_ranks = run.profile.devices.len() as u32;
+    let makespan = run.profile.makespan;
+
+    // Per-device free compute-bubble chunks for one step.
+    let intervals = idle_intervals(&run.profile);
+    let mut free: Vec<Vec<(i64, i64)>> = vec![Vec::new(); num_ranks as usize];
+    for d in 0..num_ranks {
+        let busy = merge_spans(
+            base.claims
+                .iter()
+                .filter(|c| c.device == d && !c.comm)
+                .map(|c| (c.start, c.end))
+                .collect(),
+        );
+        for iv in &intervals {
+            if iv.device != d || iv.comm {
+                continue;
+            }
+            let clipped = (iv.start.max(0), iv.end.min(makespan));
+            if clipped.1 <= clipped.0 {
+                continue;
+            }
+            free[d as usize].extend(subtract_busy(clipped, &busy));
+        }
+        free[d as usize].sort_unstable();
+    }
+    let caps: Vec<i64> = free
+        .iter()
+        .map(|chunks| chunks.iter().map(|&(s, e)| e - s).sum())
+        .collect();
+
+    let k = cfg.interval_steps as i64;
+    let (spill_ns, claims) = match cfg.policy {
+        PlacementPolicy::CriticalPath => (write_ns, Vec::new()),
+        PlacementPolicy::Bubble => {
+            // Spread the write across the interval's K steps; the slowest
+            // device decides the spill.
+            let spill = caps
+                .iter()
+                .map(|&cap| (write_ns - k * cap).max(0))
+                .max()
+                .unwrap_or(write_ns);
+            let per_step_goal = (write_ns + k - 1) / k;
+            let mut claims = Vec::new();
+            for (d, chunks) in free.iter().enumerate() {
+                let mut budget = per_step_goal.min(caps[d]);
+                for (i, &(s, e)) in chunks.iter().enumerate() {
+                    if budget <= 0 {
+                        break;
+                    }
+                    let take = budget.min(e - s);
+                    budget -= take;
+                    // A shard write occupies the device outright, so claim
+                    // the span on every colocation lane: overlap with any
+                    // lane's encoder insert must trip OPT005.
+                    for lane in 0..layout.lanes.max(1) {
+                        claims.push(InsertClaim {
+                            device: d as u32,
+                            lane,
+                            comm: false,
+                            start: s,
+                            end: s + take,
+                            label: format!("ckpt shard dev{d} chunk{i}"),
+                            chain: None,
+                        });
+                    }
+                }
+            }
+            (spill, claims)
+        }
+    };
+
+    let mut insert_set = base;
+    insert_set.claims.extend(claims.iter().cloned());
+
+    Ok(CheckpointPlan {
+        policy: cfg.policy,
+        interval_steps: cfg.interval_steps,
+        num_ranks,
+        bytes_per_rank: bytes,
+        write_ns,
+        step_ns,
+        spill_ns,
+        bubble_capacity_ns: caps,
+        claims,
+        insert_set,
+    })
+}
+
+impl CheckpointPlan {
+    /// Wall time of one fault-free checkpoint interval: `K` steps plus the
+    /// spill stall.
+    pub fn interval_wall_ns(&self) -> i64 {
+        self.interval_steps as i64 * self.step_ns + self.spill_ns
+    }
+
+    /// Fault-free wall time for `horizon_steps` steps under this plan.
+    pub fn fault_free_wall_ns(&self, horizon_steps: u32) -> i64 {
+        horizon_steps as i64 * self.step_ns
+            + (horizon_steps / self.interval_steps) as i64 * self.spill_ns
+    }
+
+    /// Fraction of the shard write hidden inside bubbles on the worst
+    /// device (`1.0` = fully hidden, `0.0` = fully on the critical path).
+    pub fn hidden_fraction(&self) -> f64 {
+        if self.write_ns == 0 {
+            return 1.0;
+        }
+        (self.write_ns - self.spill_ns) as f64 / self.write_ns as f64
+    }
+
+    /// The OPT007 checkpoint-coverage spec for a `horizon_steps` horizon:
+    /// durable instants at every interval boundary over the fault-free
+    /// timeline, with the interval wall as the tolerated gap.
+    pub fn lint_spec(&self, horizon_steps: u32) -> CheckpointSpec {
+        let wall = self.fault_free_wall_ns(horizon_steps);
+        let mut spec = CheckpointSpec::new(
+            format!(
+                "{} checkpoints /{} steps",
+                self.policy.label(),
+                self.interval_steps
+            ),
+            self.interval_wall_ns(),
+            (0, wall),
+        );
+        for j in 1..=(horizon_steps / self.interval_steps) {
+            spec = spec.durable_at(
+                j as i64 * self.interval_wall_ns(),
+                format!("step {}", j * self.interval_steps),
+            );
+        }
+        spec
+    }
+
+    /// Statically validates the placement: the combined encoder + checkpoint
+    /// claims must pass OPT005 (containment + per-lane exclusivity) and the
+    /// horizon must pass OPT007 coverage. Returns the full report (which may
+    /// still carry warnings); error-severity diagnostics fail.
+    pub fn verify(&self, horizon_steps: u32) -> Result<LintReport, RecoveryError> {
+        let report = Analyzer::new()
+            .inserts(self.insert_set.clone())
+            .checkpoints(self.lint_spec(horizon_steps))
+            .analyze();
+        let errors: Vec<String> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .map(|d| format!("{}: {}", d.code.code(), d.message))
+            .collect();
+        if errors.is_empty() {
+            Ok(report)
+        } else {
+            Err(RecoveryError::Lint(errors))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtract_busy_carves_holes() {
+        assert_eq!(subtract_busy((0, 100), &[]), vec![(0, 100)]);
+        assert_eq!(
+            subtract_busy((0, 100), &[(20, 30), (50, 60)]),
+            vec![(0, 20), (30, 50), (60, 100)]
+        );
+        assert_eq!(subtract_busy((0, 100), &[(0, 100)]), vec![]);
+        assert_eq!(subtract_busy((10, 20), &[(0, 15)]), vec![(15, 20)]);
+        assert_eq!(subtract_busy((10, 20), &[(15, 40)]), vec![(10, 15)]);
+    }
+
+    #[test]
+    fn merge_spans_coalesces() {
+        assert_eq!(
+            merge_spans(vec![(5, 10), (0, 6), (20, 25), (25, 30)]),
+            vec![(0, 10), (20, 30)]
+        );
+        assert_eq!(merge_spans(vec![(3, 3), (1, 2)]), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn storage_time_scales_with_bytes() {
+        let link = LinkProfile {
+            bandwidth: 1e9,
+            latency: 1e-3,
+        };
+        // 1 GB over 1 GB/s + 1 ms latency = 1.001 s.
+        assert_eq!(storage_time_ns(1_000_000_000, &link), 1_001_000_000);
+    }
+}

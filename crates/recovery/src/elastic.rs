@@ -1,0 +1,272 @@
+//! Elastic degraded-mode planning for permanent device losses.
+//!
+//! When a device is lost for a long repair lead time, waiting is rarely the
+//! best use of the surviving GPUs. The elastic planner prices the
+//! alternatives by re-running the Optimus planner on the shrunken cluster:
+//!
+//! * **shrink-DP** — drop to `dp − 1` replicas and re-balance the *full*
+//!   global batch across them (more microbatches per pipeline, better
+//!   bubble amortization, every sample still trained);
+//! * **drop-a-pipeline-replica** — run `dp − 1` replicas on their original
+//!   per-replica batch shard, so each wall step trains only
+//!   `(dp−1)/dp` of the global batch and the effective cost per full batch
+//!   is scaled up accordingly;
+//! * **wait-for-restart** — idle until the repair lands.
+//!
+//! Each option's expected wall time for the remaining horizon (reshard in,
+//! degraded steps until the repair, reshard out, remainder at full speed)
+//! is compared and the minimum wins; ties prefer the simpler option
+//! (waiting) to avoid churn.
+
+use optimus_baselines::common::SystemContext;
+use optimus_cluster::{ClusterTopology, LinkClass};
+use optimus_core::{run_optimus, OptimusConfig};
+use optimus_modeling::{MemoryEstimate, Workload};
+use optimus_parallel::ParallelPlan;
+
+use crate::checkpoint::storage_time_ns;
+use crate::error::RecoveryError;
+
+/// A degraded operating mode for a cluster missing one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedMode {
+    /// Idle until the repair lands.
+    WaitForRestart,
+    /// Re-balance the full global batch over `dp − 1` replicas.
+    ShrinkDp,
+    /// Keep per-replica batches; train `(dp−1)/dp` of the batch per step.
+    DropPipelineReplica,
+}
+
+impl DegradedMode {
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradedMode::WaitForRestart => "wait-for-restart",
+            DegradedMode::ShrinkDp => "shrink-dp",
+            DegradedMode::DropPipelineReplica => "drop-replica",
+        }
+    }
+}
+
+/// A priced degraded configuration the lifecycle can execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradedPlan {
+    /// Which mode this is.
+    pub mode: DegradedMode,
+    /// Wall time per *full-global-batch equivalent* step in the mode, ns.
+    pub effective_step_ns: i64,
+    /// One-way reshard cost entering (and again leaving) the mode, ns.
+    pub reshard_ns: i64,
+}
+
+/// One candidate's expected cost for the remaining horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElasticOption {
+    /// The candidate mode.
+    pub mode: DegradedMode,
+    /// Effective full-batch step cost in the mode, ns.
+    pub effective_step_ns: i64,
+    /// Expected wall for the remaining horizon under this choice, ns.
+    pub expected_wall_ns: i64,
+}
+
+/// The planner's decision for one device-loss event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticDecision {
+    /// Every candidate that could be priced, in evaluation order
+    /// (wait, shrink-DP, drop-replica).
+    pub options: Vec<ElasticOption>,
+    /// The winning degraded plan; `None` means wait-for-restart.
+    pub chosen: Option<DegradedPlan>,
+    /// Repair lead time the decision assumed, ns.
+    pub repair_ns: i64,
+    /// Remaining training steps the decision assumed.
+    pub remaining_steps: u32,
+    /// Full-configuration step latency, ns.
+    pub full_step_ns: i64,
+}
+
+impl ElasticDecision {
+    /// The winning mode.
+    pub fn chosen_mode(&self) -> DegradedMode {
+        self.chosen.map_or(DegradedMode::WaitForRestart, |p| p.mode)
+    }
+}
+
+/// Reshard cost: redistributing each rank's model + optimizer shard across
+/// the survivors over the inter-node (RDMA) fabric.
+pub fn reshard_time_ns(memory: &MemoryEstimate, topo: &ClusterTopology) -> i64 {
+    let bytes = memory.model_states + memory.optimizer;
+    storage_time_ns(bytes, &topo.link_profile(LinkClass::Rdma))
+}
+
+/// Expected wall for the remaining horizon when running a degraded mode
+/// until the repair lands, then resharding back and finishing at full speed.
+fn degraded_expected_wall(
+    remaining_steps: u32,
+    full_step_ns: i64,
+    repair_ns: i64,
+    eff_step_ns: i64,
+    reshard_ns: i64,
+) -> i64 {
+    let r = remaining_steps as i64;
+    // Degraded steps run while the repair is outstanding; a step started
+    // before the repair lands finishes at the degraded rate.
+    let until_repair = (repair_ns - reshard_ns).max(0);
+    let eff = eff_step_ns.max(1);
+    let degraded_steps = ((until_repair + eff - 1) / eff).min(r);
+    if degraded_steps >= r {
+        reshard_ns + r * eff_step_ns
+    } else {
+        reshard_ns + degraded_steps * eff_step_ns + reshard_ns + (r - degraded_steps) * full_step_ns
+    }
+}
+
+fn shrink_context(ctx: &SystemContext, num_gpus: u32) -> Result<SystemContext, RecoveryError> {
+    let topo = ClusterTopology::new(
+        ctx.topo.gpu.clone(),
+        num_gpus,
+        ctx.topo.gpus_per_node.min(num_gpus),
+        ctx.topo.nvlink,
+        ctx.topo.rdma,
+    )
+    .map_err(|e| RecoveryError::Plan(e.to_string()))?
+    .with_storage(ctx.topo.storage);
+    Ok(ctx.with_topology(topo))
+}
+
+/// Prices one degraded candidate by re-running the Optimus planner on the
+/// shrunken cluster. Returns `None` when the configuration is infeasible
+/// (indivisible batch, planner rejection) — infeasible modes are simply not
+/// offered.
+fn price_mode(
+    mode: DegradedMode,
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+) -> Option<i64> {
+    let plan = cfg.llm_plan;
+    if plan.dp < 2 {
+        return None;
+    }
+    let shrunk_plan = ParallelPlan::with_vpp(plan.dp - 1, plan.pp, plan.tp, plan.vpp).ok()?;
+    let gpus = shrunk_plan.num_gpus();
+    let global_batch = match mode {
+        DegradedMode::ShrinkDp => w.global_batch,
+        DegradedMode::DropPipelineReplica => {
+            if !w.global_batch.is_multiple_of(plan.dp) {
+                return None;
+            }
+            w.global_batch / plan.dp * (plan.dp - 1)
+        }
+        DegradedMode::WaitForRestart => return None,
+    };
+    let w2 = Workload::new(w.mllm.clone(), gpus, global_batch, w.microbatch_size);
+    let ctx2 = shrink_context(ctx, gpus).ok()?;
+    let mut cfg2 = cfg.clone();
+    cfg2.llm_plan = shrunk_plan;
+    let run = run_optimus(&w2, &cfg2, &ctx2).ok()?;
+    let step = run.outcome.latency;
+    match mode {
+        // Full batch per degraded step: step cost is the full-batch cost.
+        DegradedMode::ShrinkDp => Some(step),
+        // (dp−1)/dp of the batch per step: scale to a full-batch equivalent.
+        DegradedMode::DropPipelineReplica => Some(step * plan.dp as i64 / (plan.dp - 1) as i64),
+        DegradedMode::WaitForRestart => None,
+    }
+}
+
+/// Chooses the degraded mode with the minimum expected remaining wall.
+///
+/// `full_step_ns` is the fault-free step latency of the running schedule;
+/// `repair_ns` the repair lead time of the loss being planned for;
+/// `remaining_steps` the steps left in the horizon at the failure.
+pub fn plan_elastic(
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+    memory: &MemoryEstimate,
+    full_step_ns: i64,
+    repair_ns: i64,
+    remaining_steps: u32,
+) -> Result<ElasticDecision, RecoveryError> {
+    if full_step_ns <= 0 || remaining_steps == 0 {
+        return Err(RecoveryError::Invalid(format!(
+            "elastic planning needs a positive step ({full_step_ns}) and horizon ({remaining_steps})"
+        )));
+    }
+    let reshard_ns = reshard_time_ns(memory, &ctx.topo);
+    let wait_wall = repair_ns.max(0) + remaining_steps as i64 * full_step_ns;
+    let mut options = vec![ElasticOption {
+        mode: DegradedMode::WaitForRestart,
+        effective_step_ns: full_step_ns,
+        expected_wall_ns: wait_wall,
+    }];
+    for mode in [DegradedMode::ShrinkDp, DegradedMode::DropPipelineReplica] {
+        if let Some(eff) = price_mode(mode, w, cfg, ctx) {
+            options.push(ElasticOption {
+                mode,
+                effective_step_ns: eff,
+                expected_wall_ns: degraded_expected_wall(
+                    remaining_steps,
+                    full_step_ns,
+                    repair_ns,
+                    eff,
+                    reshard_ns,
+                ),
+            });
+        }
+    }
+    // Strict < keeps the earlier (simpler) option on ties.
+    let best = options
+        .iter()
+        .copied()
+        .reduce(|a, b| {
+            if b.expected_wall_ns < a.expected_wall_ns {
+                b
+            } else {
+                a
+            }
+        })
+        .expect("wait option always present");
+    let chosen = match best.mode {
+        DegradedMode::WaitForRestart => None,
+        mode => Some(DegradedPlan {
+            mode,
+            effective_step_ns: best.effective_step_ns,
+            reshard_ns,
+        }),
+    };
+    Ok(ElasticDecision {
+        options,
+        chosen,
+        repair_ns,
+        remaining_steps,
+        full_step_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degraded_wall_prefers_short_repairs_to_wait() {
+        // 10 steps of 100 ns, repair after 50 ns, degraded step 150 ns,
+        // reshard 10 ns: one degraded step bridges the repair.
+        let wall = degraded_expected_wall(10, 100, 50, 150, 10);
+        assert_eq!(wall, 10 + 150 + 10 + 9 * 100);
+        // Repair longer than the whole degraded horizon: never reshard back.
+        let wall = degraded_expected_wall(3, 100, 1_000_000, 150, 10);
+        assert_eq!(wall, 10 + 3 * 150);
+    }
+
+    #[test]
+    fn zero_repair_still_counts_one_reshard_cycle() {
+        let wall = degraded_expected_wall(4, 100, 0, 150, 10);
+        // Repair already landed: reshard in, zero degraded steps, reshard
+        // out, full-speed remainder.
+        assert_eq!(wall, 10 + 10 + 4 * 100);
+    }
+}

@@ -1,0 +1,259 @@
+//! Deterministic multi-failure traces.
+//!
+//! A [`FailureTrace`] is the recovery engine's input: a time-sorted list of
+//! fail-stop events, each either *transient* (the process crashes, the
+//! device comes back after a restart delay) or *permanent* (the device is
+//! lost until a repair/replacement arrives). Traces come from three places:
+//! hand-built lists, the [`optimus_faults::FaultModel`] scenarios a run is
+//! already being studied under, or the seeded generator — which draws
+//! interarrival gaps uniformly in `[0.5, 1.5) · MTBF` with
+//! [`optimus_detrand`] so the same seed is bit-identical on every platform.
+
+use optimus_cluster::{DurNs, TimeNs};
+use optimus_detrand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+use optimus_faults::{FaultModel, FaultScenario};
+
+use crate::error::RecoveryError;
+
+/// How a failed device comes back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Process-level fail-stop: the device restarts after `restart`.
+    Transient {
+        /// Process restart delay.
+        restart: DurNs,
+    },
+    /// Device loss: the hardware is gone until a repair lands `repair`
+    /// after the failure instant.
+    Permanent {
+        /// Repair/replacement lead time.
+        repair: DurNs,
+    },
+}
+
+/// One failure event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Failure {
+    /// Failure instant on the training wall clock.
+    pub at: TimeNs,
+    /// Failed device.
+    pub device: u32,
+    /// Transient restart or permanent loss.
+    pub kind: FailureKind,
+}
+
+/// A time-sorted failure trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureTrace {
+    failures: Vec<Failure>,
+}
+
+/// Seeded-generation parameters for [`FailureTrace::generate`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FailureTraceConfig {
+    /// Generator seed.
+    pub seed: u64,
+    /// Generate failures in `[0, horizon_ns)`.
+    pub horizon_ns: u64,
+    /// Mean time between failures.
+    pub mtbf_ns: u64,
+    /// Devices to draw the failing rank from.
+    pub num_devices: u32,
+    /// Restart delay for transient failures.
+    pub restart: DurNs,
+    /// Repair lead time for permanent failures.
+    pub repair: DurNs,
+    /// Every `permanent_every`-th failure is a permanent device loss
+    /// (`0` = all transient).
+    pub permanent_every: u32,
+}
+
+impl FailureTrace {
+    /// Builds a trace from explicit events, sorting by time and validating
+    /// that delays are non-zero.
+    pub fn new(mut failures: Vec<Failure>) -> Result<FailureTrace, RecoveryError> {
+        for f in &failures {
+            let delay = match f.kind {
+                FailureKind::Transient { restart } => restart,
+                FailureKind::Permanent { repair } => repair,
+            };
+            if delay.0 == 0 {
+                return Err(RecoveryError::Invalid(format!(
+                    "failure on device {} at {} ns has a zero restart/repair delay",
+                    f.device, f.at.0
+                )));
+            }
+        }
+        failures.sort_by_key(|f| (f.at.0, f.device));
+        Ok(FailureTrace { failures })
+    }
+
+    /// Extracts the fail-stop events of a fault model: `FailStop` scenarios
+    /// become transient failures, `DeviceLoss` scenarios permanent ones.
+    /// Degradation scenarios (stragglers, jitter, link faults) have no
+    /// fail-stop semantics and are ignored here.
+    pub fn from_model(model: &FaultModel) -> FailureTrace {
+        let mut failures = Vec::new();
+        for s in model.scenarios() {
+            match *s {
+                FaultScenario::FailStop {
+                    device,
+                    at,
+                    restart,
+                } => failures.push(Failure {
+                    at,
+                    device,
+                    kind: FailureKind::Transient { restart },
+                }),
+                FaultScenario::DeviceLoss { device, at, repair } => failures.push(Failure {
+                    at,
+                    device,
+                    kind: FailureKind::Permanent { repair },
+                }),
+                _ => {}
+            }
+        }
+        failures.sort_by_key(|f| (f.at.0, f.device));
+        FailureTrace { failures }
+    }
+
+    /// Seeded multi-failure generator. Interarrival gaps are uniform in
+    /// `[0.5, 1.5) · MTBF` (no transcendentals, so the draw is bit-identical
+    /// across platforms); failing devices are drawn uniformly.
+    pub fn generate(cfg: &FailureTraceConfig) -> Result<FailureTrace, RecoveryError> {
+        if cfg.mtbf_ns == 0 || cfg.num_devices == 0 {
+            return Err(RecoveryError::Invalid(
+                "failure generation needs mtbf > 0 and num_devices > 0".into(),
+            ));
+        }
+        if cfg.restart.0 == 0 || cfg.repair.0 == 0 {
+            return Err(RecoveryError::Invalid(
+                "restart and repair delays must be non-zero".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut failures = Vec::new();
+        let mut t: u64 = 0;
+        let mut i: u32 = 0;
+        loop {
+            let gap = (cfg.mtbf_ns as f64 * (0.5 + rng.next_f64())) as u64;
+            t = t.saturating_add(gap.max(1));
+            if t >= cfg.horizon_ns {
+                break;
+            }
+            i += 1;
+            let device = rng.random_range(0..cfg.num_devices);
+            let kind = if cfg.permanent_every > 0 && i.is_multiple_of(cfg.permanent_every) {
+                FailureKind::Permanent { repair: cfg.repair }
+            } else {
+                FailureKind::Transient {
+                    restart: cfg.restart,
+                }
+            };
+            failures.push(Failure {
+                at: TimeNs(t),
+                device,
+                kind,
+            });
+        }
+        Ok(FailureTrace { failures })
+    }
+
+    /// The events, sorted by time.
+    pub fn failures(&self) -> &[Failure] {
+        &self.failures
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.failures.len()
+    }
+
+    /// True when the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_rejects_zero_delays() {
+        let t = FailureTrace::new(vec![
+            Failure {
+                at: TimeNs(200),
+                device: 1,
+                kind: FailureKind::Transient { restart: DurNs(10) },
+            },
+            Failure {
+                at: TimeNs(100),
+                device: 0,
+                kind: FailureKind::Permanent { repair: DurNs(50) },
+            },
+        ])
+        .expect("trace");
+        assert_eq!(t.failures()[0].at, TimeNs(100));
+        assert!(FailureTrace::new(vec![Failure {
+            at: TimeNs(1),
+            device: 0,
+            kind: FailureKind::Transient { restart: DurNs(0) },
+        }])
+        .is_err());
+    }
+
+    #[test]
+    fn from_model_keeps_only_fail_stop_semantics() {
+        let model = FaultModel::new(7)
+            .with(FaultScenario::KernelJitter { eps: 0.05 })
+            .expect("scenario")
+            .with(FaultScenario::DeviceLoss {
+                device: 2,
+                at: TimeNs(500),
+                repair: DurNs(1000),
+            })
+            .expect("scenario")
+            .with(FaultScenario::FailStop {
+                device: 1,
+                at: TimeNs(100),
+                restart: DurNs(50),
+            })
+            .expect("scenario");
+        let t = FailureTrace::from_model(&model);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.failures()[0].device, 1);
+        assert!(matches!(
+            t.failures()[1].kind,
+            FailureKind::Permanent {
+                repair: DurNs(1000)
+            }
+        ));
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_bounded() {
+        let cfg = FailureTraceConfig {
+            seed: 42,
+            horizon_ns: 10_000_000,
+            mtbf_ns: 1_000_000,
+            num_devices: 4,
+            restart: DurNs(5_000),
+            repair: DurNs(50_000),
+            permanent_every: 3,
+        };
+        let a = FailureTrace::generate(&cfg).expect("trace");
+        let b = FailureTrace::generate(&cfg).expect("trace");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a.failures().iter().all(|f| f.at.0 < cfg.horizon_ns));
+        assert!(a.failures().iter().all(|f| f.device < 4));
+        // Every third failure is permanent.
+        assert!(a
+            .failures()
+            .iter()
+            .any(|f| matches!(f.kind, FailureKind::Permanent { .. })));
+        let c = FailureTrace::generate(&FailureTraceConfig { seed: 43, ..cfg }).expect("trace");
+        assert_ne!(a, c);
+    }
+}

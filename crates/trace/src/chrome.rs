@@ -27,6 +27,10 @@ pub struct TraceAnnotation {
 /// Track id for annotation events: one past the per-stream tracks.
 const ANNOTATION_TID: u32 = Stream::COUNT as u32;
 
+/// Track id for recovery-lifecycle events (detection, rollback, replay-done,
+/// checkpoint-durable): one past the fault track.
+pub const RECOVERY_TID: u32 = Stream::COUNT as u32 + 1;
+
 fn stream_tid(s: Stream) -> u32 {
     s.index() as u32
 }
@@ -61,9 +65,23 @@ pub fn write_chrome_trace_with_annotations<W: Write>(
     graph: &TaskGraph,
     result: &SimResult,
     annotations: &[TraceAnnotation],
+    out: W,
+) -> std::io::Result<()> {
+    write_chrome_trace_with_recovery(graph, result, annotations, &[], out)
+}
+
+/// Like [`write_chrome_trace_with_annotations`], with a second instant track:
+/// `recovery` events (detection, rollback, replay-done, checkpoint-durable)
+/// land on track [`RECOVERY_TID`] with category `recovery`, above the fault
+/// track of each device.
+pub fn write_chrome_trace_with_recovery<W: Write>(
+    graph: &TaskGraph,
+    result: &SimResult,
+    faults: &[TraceAnnotation],
+    recovery: &[TraceAnnotation],
     mut out: W,
 ) -> std::io::Result<()> {
-    let mut events = Vec::with_capacity(graph.len() + annotations.len());
+    let mut events = Vec::with_capacity(graph.len() + faults.len() + recovery.len());
     for t in graph.tasks() {
         let span = result.span(t.id);
         events.push(Json::obj(vec![
@@ -76,21 +94,27 @@ pub fn write_chrome_trace_with_annotations<W: Write>(
             ("tid", Json::from(stream_tid(t.stream))),
         ]));
     }
-    for a in annotations {
-        events.push(Json::obj(vec![
-            ("name", Json::from(a.label.clone())),
-            ("cat", Json::from("fault")),
-            ("ph", Json::from("i")),
-            // Thread-scoped instant: renders as a marker on the fault track.
-            ("s", Json::from("t")),
-            ("ts", Json::from(a.at_us)),
-            ("pid", Json::from(a.device)),
-            ("tid", Json::from(ANNOTATION_TID)),
-            (
-                "args",
-                Json::obj(vec![("detail", Json::from(a.detail.clone()))]),
-            ),
-        ]));
+    let tracks = [
+        ("fault", ANNOTATION_TID, faults),
+        ("recovery", RECOVERY_TID, recovery),
+    ];
+    for (cat, tid, anns) in tracks {
+        for a in anns {
+            events.push(Json::obj(vec![
+                ("name", Json::from(a.label.clone())),
+                ("cat", Json::from(cat)),
+                ("ph", Json::from("i")),
+                // Thread-scoped instant: renders as a marker on its track.
+                ("s", Json::from("t")),
+                ("ts", Json::from(a.at_us)),
+                ("pid", Json::from(a.device)),
+                ("tid", Json::from(tid)),
+                (
+                    "args",
+                    Json::obj(vec![("detail", Json::from(a.detail.clone()))]),
+                ),
+            ]));
+        }
     }
     out.write_all(Json::Arr(events).to_compact().as_bytes())
 }
@@ -170,6 +194,50 @@ mod tests {
                 .unwrap(),
             "slowdown 1.50x"
         );
+    }
+
+    #[test]
+    fn recovery_events_land_on_their_own_track() {
+        let mut g = TaskGraph::new(1);
+        g.push(
+            "fwd",
+            0,
+            Stream::Compute,
+            DurNs(1000),
+            TaskKind::Generic,
+            vec![],
+        );
+        let r = simulate(&g).unwrap();
+        let faults = [TraceAnnotation {
+            label: "fail_stop".into(),
+            device: 0,
+            at_us: 0.2,
+            detail: "restart 5ms".into(),
+        }];
+        let recovery = [TraceAnnotation {
+            label: "rollback".into(),
+            device: 0,
+            at_us: 0.4,
+            detail: "to ckpt 3".into(),
+        }];
+        let mut buf = Vec::new();
+        write_chrome_trace_with_recovery(&g, &r, &faults, &recovery, &mut buf).unwrap();
+        let parsed = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        let fault = &arr[1];
+        assert_eq!(fault.field("cat").unwrap().as_str().unwrap(), "fault");
+        assert_eq!(
+            fault.field("tid").unwrap().as_f64().unwrap(),
+            Stream::COUNT as f64
+        );
+        let rec = &arr[2];
+        assert_eq!(rec.field("cat").unwrap().as_str().unwrap(), "recovery");
+        assert_eq!(
+            rec.field("tid").unwrap().as_f64().unwrap(),
+            RECOVERY_TID as f64
+        );
+        assert_eq!(rec.field("name").unwrap().as_str().unwrap(), "rollback");
     }
 
     #[test]

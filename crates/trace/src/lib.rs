@@ -25,8 +25,12 @@ pub mod compact;
 pub mod stats;
 
 pub use ascii::render_timeline;
-pub use chrome::{write_chrome_trace, write_chrome_trace_with_annotations, TraceAnnotation};
+pub use chrome::{
+    write_chrome_trace, write_chrome_trace_with_annotations, write_chrome_trace_with_recovery,
+    TraceAnnotation, RECOVERY_TID,
+};
 pub use compact::compact_timeline;
 pub use stats::{
-    bubble_table, fault_table, lint_table, planner_search_table, quantile, SearchTiming, TextTable,
+    bubble_table, fault_table, fault_table_with_recovery, lint_table, planner_search_table,
+    quantile, SearchTiming, TextTable,
 };

@@ -35,6 +35,32 @@ pub fn fault_table(annotations: &[TraceAnnotation]) -> String {
     t.render()
 }
 
+/// Renders fault *and* recovery-lifecycle events as one merged table, sorted
+/// by time, with a Track column distinguishing the chrome-trace track each
+/// event lands on (`fault` vs `recovery`).
+pub fn fault_table_with_recovery(
+    faults: &[TraceAnnotation],
+    recovery: &[TraceAnnotation],
+) -> String {
+    let mut rows: Vec<(&'static str, &TraceAnnotation)> = faults
+        .iter()
+        .map(|a| ("fault", a))
+        .chain(recovery.iter().map(|a| ("recovery", a)))
+        .collect();
+    rows.sort_by(|(_, a), (_, b)| a.at_us.total_cmp(&b.at_us));
+    let mut t = TextTable::new(vec!["Track", "Event", "Device", "At (us)", "Detail"]);
+    for (track, a) in rows {
+        t.row(vec![
+            track.to_string(),
+            a.label.clone(),
+            a.device.to_string(),
+            format!("{:.1}", a.at_us),
+            a.detail.clone(),
+        ]);
+    }
+    t.render()
+}
+
 /// Renders a static-analysis report as a table: one row per diagnostic
 /// with its code, severity, message, and first witness. `"lint: clean"`
 /// when the report is empty.
@@ -237,6 +263,42 @@ mod tests {
         assert!(s.contains("straggler_device"));
         assert!(s.contains("1234.5"));
         assert!(s.contains("restart 5.000ms"));
+    }
+
+    #[test]
+    fn merged_recovery_table_sorts_by_time_with_track_column() {
+        let faults = [TraceAnnotation {
+            label: "fail_stop".into(),
+            device: 1,
+            at_us: 100.0,
+            detail: "restart 5ms".into(),
+        }];
+        let recovery = [
+            TraceAnnotation {
+                label: "replay_done".into(),
+                device: 1,
+                at_us: 300.0,
+                detail: "4 microbatches".into(),
+            },
+            TraceAnnotation {
+                label: "detection".into(),
+                device: 1,
+                at_us: 150.0,
+                detail: "heartbeat".into(),
+            },
+        ];
+        let s = fault_table_with_recovery(&faults, &recovery);
+        assert!(s.contains("Track"), "{s}");
+        let fault_line = s.lines().position(|l| l.contains("fail_stop")).unwrap();
+        let det_line = s.lines().position(|l| l.contains("detection")).unwrap();
+        let replay_line = s.lines().position(|l| l.contains("replay_done")).unwrap();
+        assert!(fault_line < det_line && det_line < replay_line, "{s}");
+        assert!(s
+            .lines()
+            .nth(det_line)
+            .unwrap()
+            .trim_start()
+            .starts_with("recovery"));
     }
 
     #[test]

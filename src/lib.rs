@@ -27,7 +27,10 @@
 //! * [`trace`] — Chrome-trace export, ASCII timelines, report tables;
 //! * [`calibrate`] — trace ingestion, hardware-model calibration from
 //!   kernel logs, and simulator-fidelity validation (the profile→model
-//!   closed loop).
+//!   closed loop);
+//! * [`recovery`] — checkpoint/restart recovery: bubble-placed snapshot
+//!   writes, a deterministic failure-lifecycle simulator, elastic
+//!   degraded-mode planning, and goodput accounting.
 //!
 //! # Examples
 //!
@@ -56,5 +59,6 @@ pub use optimus_lint as lint;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;
 pub use optimus_pipeline as pipeline;
+pub use optimus_recovery as recovery;
 pub use optimus_sim as sim;
 pub use optimus_trace as trace;

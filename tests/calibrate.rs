@@ -266,3 +266,100 @@ fn calibrated_model_beats_uncalibrated_baseline_on_fidelity() {
     assert!(js.contains("bubble_agreement"));
     assert!(report_cal.table().contains("makespan"));
 }
+
+#[test]
+fn chrome_round_trip_keeps_recovery_track_separate_and_bit_exact() {
+    let w = small_workload();
+    let ctx = SystemContext::hopper(8).unwrap();
+    let run = megatron_lm(&w, (2, 2, 2), &ctx).unwrap();
+    let faults = FaultModel::new(9)
+        .with(FaultScenario::FailStop {
+            device: 1,
+            at: optimus::cluster::TimeNs(2_000_000),
+            restart: optimus::cluster::DurNs::from_millis(5),
+        })
+        .unwrap();
+    let inj = faults.inject(&run.lowered.graph, &ctx.topo).unwrap();
+    let result = optimus::sim::simulate(&inj.graph).unwrap();
+    let fault_anns = fault_annotations(&inj.events);
+    assert!(!fault_anns.is_empty());
+
+    // Recovery-lifecycle events, one carrying the full merged fault+recovery
+    // table as its detail (multi-line text is the hostile escaping case).
+    let mut recovery = vec![
+        TraceAnnotation {
+            label: "detection".into(),
+            device: 1,
+            at_us: 2100.0,
+            detail: "fail-stop on dev 1 detected".into(),
+        },
+        TraceAnnotation {
+            label: "rollback".into(),
+            device: 1,
+            at_us: 2600.5,
+            detail: "rolled back to durable step 4".into(),
+        },
+        TraceAnnotation {
+            label: "replay_done".into(),
+            device: 1,
+            at_us: 4200.25,
+            detail: "caught up to step 6".into(),
+        },
+    ];
+    let merged_tbl = optimus::trace::fault_table_with_recovery(&fault_anns, &recovery);
+    recovery.push(TraceAnnotation {
+        label: "recovery_table".into(),
+        device: 0,
+        at_us: 0.0,
+        detail: merged_tbl.clone(),
+    });
+
+    let mut buf = Vec::new();
+    optimus::trace::write_chrome_trace_with_recovery(
+        &inj.graph,
+        &result,
+        &fault_anns,
+        &recovery,
+        &mut buf,
+    )
+    .unwrap();
+    let parsed = IngestedTrace::parse_chrome(std::str::from_utf8(&buf).unwrap()).unwrap();
+
+    // Busy spans still round-trip bit-exactly alongside the new track.
+    assert_eq!(parsed, {
+        let mut expect = IngestedTrace::from_simulation(&inj.graph, &result);
+        expect.annotations = parsed.annotations.clone();
+        expect
+    });
+
+    // Every event keeps its category: faults on the fault track, recovery
+    // lifecycle events on the recovery track.
+    assert_eq!(parsed.annotations.len(), fault_anns.len() + recovery.len());
+    let recovered: Vec<_> = parsed
+        .annotations
+        .iter()
+        .filter(|a| a.cat == "recovery")
+        .collect();
+    assert_eq!(recovered.len(), recovery.len());
+    assert!(
+        parsed
+            .annotations
+            .iter()
+            .filter(|a| a.cat == "fault")
+            .count()
+            == fault_anns.len()
+    );
+
+    // Labels, devices, instants, and detail text are bit-exact.
+    for (got, want) in recovered.iter().zip(&recovery) {
+        assert_eq!(got.label, want.label);
+        assert_eq!(got.device, want.device);
+        assert_eq!(got.at, (want.at_us * 1e3).round() as i64);
+        assert_eq!(got.detail, want.detail);
+    }
+    assert_eq!(
+        recovered.last().unwrap().detail,
+        merged_tbl,
+        "the embedded merged table must survive bit-exactly"
+    );
+}
