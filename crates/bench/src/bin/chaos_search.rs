@@ -1,0 +1,68 @@
+//! Adversarial chaos search with shrinking counterexamples.
+//!
+//! Pass `--smoke` for the CI configuration (small search budget); smoke
+//! mode asserts the closed loop:
+//!
+//! * the search finds the planted counterexample classes on its own (a
+//!   worst offender with lint violations and real regret),
+//! * shrinking strictly reduces every minted counterexample's perturbation
+//!   size while its predicate keeps holding, and
+//! * each shrunk form still reproduces when replayed from its fixture.
+//!
+//! Pass `--mint` to (re)write the minimized fixtures into
+//! `tests/golden/chaos/`, where the `chaos` integration test replays them.
+
+use std::path::Path;
+
+use optimus_bench::experiments::chaos;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mint = std::env::args().any(|a| a == "--mint");
+    let (report, study) = chaos::run(smoke);
+    println!("{report}");
+
+    if mint {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/chaos");
+        for path in chaos::write_fixtures(&study, &dir) {
+            println!("wrote {}", path.display());
+        }
+    }
+
+    if smoke {
+        let worst = study
+            .findings
+            .worst()
+            .expect("search found nothing above a zero score");
+        assert!(
+            worst.score.lint_errors > 0,
+            "search missed the planted lint counterexamples: {:?}",
+            worst.score
+        );
+        assert!(
+            worst.score.regret_ns >= chaos::regret_floor(study.baseline_ns),
+            "search missed the planted regret counterexamples: {:?}",
+            worst.score
+        );
+        assert_eq!(
+            worst.score.ledger_violations, 0,
+            "the recovery ledger should be exact on every probe: {:?}",
+            worst.ledger_notes
+        );
+        for m in &study.mints {
+            assert!(
+                m.shrink.shrunk.perturbation.size() < m.shrink.original.perturbation.size(),
+                "{}: shrinking must strictly reduce size ({} -> {})",
+                m.fixture.name,
+                m.shrink.original.perturbation.size(),
+                m.shrink.shrunk.perturbation.size()
+            );
+            assert!(
+                m.predicate.holds(&m.shrink.shrunk),
+                "{}: shrunk form no longer reproduces",
+                m.fixture.name
+            );
+        }
+        eprintln!("smoke assertions passed");
+    }
+}

@@ -1,0 +1,188 @@
+//! Adversarial chaos search over the reference schedule, with shrinking.
+//!
+//! Runs the coordinate-descent chaos search against the spliceable
+//! reference plan, then minimizes three curated counterexamples — one per
+//! failure surface the probes score — and packages them as replayable
+//! fixtures. The smoke configuration asserts the planted counterexamples
+//! are found and that shrinking strictly reduces perturbation size while
+//! the failure keeps reproducing.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use optimus_chaos::{
+    chaos_search, shrink, ChaosFindings, ChaosFixture, ChaosHarness, ChaosPredicate,
+    ChaosSearchConfig, ChaosSettings, DegradedClass, FailureSpec, Perturbation, ShrinkResult,
+};
+
+/// One minted counterexample: predicate, shrink trajectory, fixture.
+pub struct Mint {
+    /// The property the counterexample violates.
+    pub predicate: ChaosPredicate,
+    /// The shrink run (original = padded start, shrunk = minimal form).
+    pub shrink: ShrinkResult,
+    /// The replayable fixture built from the shrunk form.
+    pub fixture: ChaosFixture,
+}
+
+/// Everything the chaos study produced.
+pub struct ChaosStudy {
+    /// Fault-free makespan of the probed plan, ns.
+    pub baseline_ns: i64,
+    /// The search findings (worst offenders first).
+    pub findings: ChaosFindings,
+    /// The curated, minimized counterexamples.
+    pub mints: Vec<Mint>,
+}
+
+/// The regret floor a fixture-worthy counterexample must clear: 0.5% of
+/// the fault-free makespan.
+pub fn regret_floor(baseline_ns: i64) -> i64 {
+    baseline_ns / 200
+}
+
+/// The curated counterexample starts, before padding. Each is planted
+/// inside the search ladders, so the search finds its class on its own;
+/// minting from fixed starts keeps fixture names and predicates stable.
+fn curated(baseline_ns: i64) -> Vec<(&'static str, &'static str, ChaosPredicate, Perturbation)> {
+    let mut straggler = Perturbation::zero(1);
+    straggler.straggler_device = 0;
+    straggler.straggler_pct = 100;
+
+    let mut jitter = Perturbation::zero(2);
+    jitter.jitter_pct = 60;
+
+    let mut link = Perturbation::zero(3);
+    link.link_class = DegradedClass::NvLink;
+    link.link_bw_drop_pct = 80;
+    link.link_lat_pct = 300;
+
+    vec![
+        (
+            "straggler-escapes-bubbles",
+            "A straggler device stretches relocated encoder kernels past \
+             their proven-idle bubbles (OPT005).",
+            ChaosPredicate::LintErrors,
+            straggler,
+        ),
+        (
+            "jitter-escapes-bubbles",
+            "Cluster-wide kernel jitter stretches bubble inserts out of \
+             their claimed windows (OPT005).",
+            ChaosPredicate::LintErrors,
+            jitter,
+        ),
+        (
+            "nvlink-degradation-regret",
+            "A degraded NVLink leaves makespan on the table versus a \
+             re-plan that prices the slower collectives.",
+            ChaosPredicate::RegretAtLeast(regret_floor(baseline_ns)),
+            link,
+        ),
+    ]
+}
+
+/// Pads a counterexample with perturbation mass that cannot cure the
+/// failure (an extra transient failure never *fixes* a lint or regret
+/// violation), so the shrinker provably has something to remove.
+fn pad(p: &Perturbation) -> Perturbation {
+    let mut padded = p.clone();
+    padded.failures.push(FailureSpec {
+        device: 1,
+        at_pct: 50,
+        downtime_ms: 40,
+        permanent: false,
+    });
+    padded
+}
+
+/// Runs the chaos study. `smoke` shrinks the search budget for CI.
+pub fn run(smoke: bool) -> (String, ChaosStudy) {
+    let harness = ChaosHarness::reference(ChaosSettings::default()).expect("harness");
+    let baseline_ns = harness.baseline_ns();
+    let cfg = if smoke {
+        ChaosSearchConfig {
+            restarts: 2,
+            sweeps: 1,
+            workers: 0,
+            keep: 6,
+            seed: 1,
+        }
+    } else {
+        ChaosSearchConfig {
+            restarts: 4,
+            sweeps: 2,
+            workers: 0,
+            keep: 12,
+            seed: 1,
+        }
+    };
+    let findings = chaos_search(&harness, &cfg).expect("search");
+
+    let mut mints = Vec::new();
+    for (name, description, predicate, start) in curated(baseline_ns) {
+        let padded = pad(&start);
+        let result = shrink(&harness, predicate, &padded).expect("shrink");
+        let fixture = ChaosFixture::from_report(name, description, predicate, &result.shrunk)
+            .expect("fixture");
+        mints.push(Mint {
+            predicate,
+            shrink: result,
+            fixture,
+        });
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "Chaos search over the reference schedule");
+    let _ = writeln!(
+        out,
+        "  baseline {:.3} ms, {} distinct probes",
+        baseline_ns as f64 / 1e6,
+        findings.probes
+    );
+    let _ = writeln!(out, "  worst offenders:");
+    for r in &findings.offenders {
+        let _ = writeln!(
+            out,
+            "    size {:>5}  ledger {:>2}  lint {:>4}  regret {:>9.3} ms  {}",
+            r.perturbation.size(),
+            r.score.ledger_violations,
+            r.score.lint_errors,
+            r.score.regret_ns as f64 / 1e6,
+            r.perturbation.describe()
+        );
+    }
+    let _ = writeln!(out, "  minted counterexamples:");
+    for m in &mints {
+        let _ = writeln!(
+            out,
+            "    {:<28} {:<18} size {} -> {} ({} steps, {} probes): {}",
+            m.fixture.name,
+            m.predicate.label(),
+            m.shrink.original.perturbation.size(),
+            m.shrink.shrunk.perturbation.size(),
+            m.shrink.steps,
+            m.shrink.probes,
+            m.shrink.shrunk.perturbation.describe()
+        );
+    }
+
+    (
+        out,
+        ChaosStudy {
+            baseline_ns,
+            findings,
+            mints,
+        },
+    )
+}
+
+/// Writes every minted fixture into `dir` (the committed
+/// `tests/golden/chaos/` when called from the bin with `--mint`).
+pub fn write_fixtures(study: &ChaosStudy, dir: &Path) -> Vec<std::path::PathBuf> {
+    study
+        .mints
+        .iter()
+        .map(|m| m.fixture.save(dir).expect("write fixture"))
+        .collect()
+}

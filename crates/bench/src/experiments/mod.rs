@@ -3,6 +3,7 @@
 
 pub mod ablations;
 pub mod calibrate_fidelity;
+pub mod chaos;
 pub mod extension_hetero;
 pub mod extension_schedules;
 pub mod extension_zb;

@@ -1,0 +1,45 @@
+//! Error type for the chaos harness.
+
+use std::fmt;
+
+/// Everything that can go wrong while probing or shrinking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// A perturbation failed validation.
+    Invalid(String),
+    /// The harness could not be built (planner rejection, unspliceable
+    /// schedule, checkpoint-plan failure).
+    Harness(String),
+    /// A probe failed mid-evaluation (injection or simulation error).
+    Probe(String),
+    /// A fixture could not be read, parsed, or reproduced.
+    Fixture(String),
+}
+
+impl fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaosError::Invalid(msg) => write!(f, "invalid perturbation: {msg}"),
+            ChaosError::Harness(msg) => write!(f, "chaos harness: {msg}"),
+            ChaosError::Probe(msg) => write!(f, "chaos probe: {msg}"),
+            ChaosError::Fixture(msg) => write!(f, "chaos fixture: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_prefixed() {
+        assert!(ChaosError::Invalid("x".into())
+            .to_string()
+            .contains("invalid"));
+        assert!(ChaosError::Fixture("y".into())
+            .to_string()
+            .contains("fixture"));
+    }
+}

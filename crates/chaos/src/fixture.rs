@@ -1,0 +1,206 @@
+//! Counterexample fixtures: minimized perturbations serialized for CI.
+//!
+//! A [`ChaosFixture`] pins a minimized counterexample — the perturbation,
+//! the predicate it violates, and the score observed when it was minted —
+//! as a JSON file under `tests/golden/chaos/`. The integration suite
+//! replays every fixture against a freshly built harness and fails if the
+//! predicate no longer holds, so once a chaos run finds a weakness it is
+//! guarded forever.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use optimus_json::Json;
+
+use crate::error::ChaosError;
+use crate::harness::ChaosHarness;
+use crate::perturbation::Perturbation;
+use crate::score::{ChaosPredicate, ChaosScore, ProbeReport};
+
+/// A serialized, replayable counterexample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosFixture {
+    /// File-stem-safe identifier.
+    pub name: String,
+    /// What the counterexample demonstrates, for humans.
+    pub description: String,
+    /// The property the perturbation violates; replay re-checks this.
+    pub predicate: ChaosPredicate,
+    /// The minimized perturbation.
+    pub perturbation: Perturbation,
+    /// The score observed when the fixture was minted (informational:
+    /// replay enforces the predicate, not score equality, so legitimate
+    /// cost-model changes do not stale the fixture).
+    pub minted_score: ChaosScore,
+}
+
+impl ChaosFixture {
+    /// Builds a fixture from a probe that satisfies `predicate`.
+    pub fn from_report(
+        name: &str,
+        description: &str,
+        predicate: ChaosPredicate,
+        report: &ProbeReport,
+    ) -> Result<ChaosFixture, ChaosError> {
+        if !predicate.holds(report) {
+            return Err(ChaosError::Fixture(format!(
+                "cannot mint {name}: predicate {} does not hold",
+                predicate.label()
+            )));
+        }
+        Ok(ChaosFixture {
+            name: name.to_string(),
+            description: description.to_string(),
+            predicate,
+            perturbation: report.perturbation.clone(),
+            minted_score: report.score,
+        })
+    }
+
+    /// JSON form.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            ("description", Json::Str(self.description.clone())),
+            ("predicate", self.predicate.to_json()),
+            ("perturbation", self.perturbation.to_json()),
+            ("minted_score", self.minted_score.to_json()),
+        ])
+    }
+
+    /// Parses the JSON form.
+    pub fn from_json(j: &Json) -> Result<ChaosFixture, ChaosError> {
+        let fix = |e: &dyn std::fmt::Display| ChaosError::Fixture(e.to_string());
+        let str_field = |k: &str| -> Result<String, ChaosError> {
+            Ok(j.field(k)
+                .and_then(|v| v.as_str())
+                .map_err(|e| fix(&e))?
+                .to_string())
+        };
+        Ok(ChaosFixture {
+            name: str_field("name")?,
+            description: str_field("description")?,
+            predicate: ChaosPredicate::from_json(j.field("predicate").map_err(|e| fix(&e))?)?,
+            perturbation: Perturbation::from_json(j.field("perturbation").map_err(|e| fix(&e))?)?,
+            minted_score: ChaosScore::from_json(j.field("minted_score").map_err(|e| fix(&e))?)?,
+        })
+    }
+
+    /// Writes the fixture as pretty JSON to `dir/<name>.json`.
+    pub fn save(&self, dir: &Path) -> Result<PathBuf, ChaosError> {
+        fs::create_dir_all(dir)
+            .map_err(|e| ChaosError::Fixture(format!("create {}: {e}", dir.display())))?;
+        let path = dir.join(format!("{}.json", self.name));
+        let mut text = self.to_json().to_pretty();
+        text.push('\n');
+        fs::write(&path, text)
+            .map_err(|e| ChaosError::Fixture(format!("write {}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Reads one fixture file.
+    pub fn load(path: &Path) -> Result<ChaosFixture, ChaosError> {
+        let text = fs::read_to_string(path)
+            .map_err(|e| ChaosError::Fixture(format!("read {}: {e}", path.display())))?;
+        let json = Json::parse(&text)
+            .map_err(|e| ChaosError::Fixture(format!("parse {}: {e}", path.display())))?;
+        ChaosFixture::from_json(&json)
+    }
+
+    /// Reads every `*.json` fixture in a directory, sorted by file name.
+    /// An absent directory is an empty set, not an error.
+    pub fn load_dir(dir: &Path) -> Result<Vec<ChaosFixture>, ChaosError> {
+        if !dir.exists() {
+            return Ok(Vec::new());
+        }
+        let mut paths: Vec<PathBuf> = fs::read_dir(dir)
+            .map_err(|e| ChaosError::Fixture(format!("list {}: {e}", dir.display())))?
+            .filter_map(|entry| entry.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+            .collect();
+        paths.sort();
+        paths.iter().map(|p| ChaosFixture::load(p)).collect()
+    }
+
+    /// Re-probes the perturbation and checks the predicate still holds.
+    pub fn replay(&self, harness: &ChaosHarness) -> Result<ProbeReport, ChaosError> {
+        let report = harness.probe(&self.perturbation)?;
+        if !self.predicate.holds(&report) {
+            return Err(ChaosError::Fixture(format!(
+                "fixture {} no longer reproduces: predicate {} fails \
+                 (score now {:?}, minted {:?})",
+                self.name,
+                self.predicate.label(),
+                report.score,
+                self.minted_score
+            )));
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_fixture() -> ChaosFixture {
+        let mut p = Perturbation::zero(7);
+        p.straggler_device = 3;
+        p.straggler_pct = 50;
+        ChaosFixture {
+            name: "straggler-lint".into(),
+            description: "50% straggler escapes its bubbles".into(),
+            predicate: ChaosPredicate::LintErrors,
+            perturbation: p,
+            minted_score: ChaosScore {
+                ledger_violations: 0,
+                lint_errors: 4,
+                regret_ns: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let f = sample_fixture();
+        assert_eq!(ChaosFixture::from_json(&f.to_json()).unwrap(), f);
+    }
+
+    #[test]
+    fn save_load_dir_round_trips_sorted() {
+        let dir = std::env::temp_dir().join("optimus-chaos-fixture-test");
+        let _ = fs::remove_dir_all(&dir);
+        let mut a = sample_fixture();
+        a.name = "b-second".into();
+        let mut b = sample_fixture();
+        b.name = "a-first".into();
+        a.save(&dir).unwrap();
+        b.save(&dir).unwrap();
+        let loaded = ChaosFixture::load_dir(&dir).unwrap();
+        assert_eq!(
+            loaded.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            vec!["a-first", "b-second"]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_is_empty() {
+        let dir = std::env::temp_dir().join("optimus-chaos-no-such-dir");
+        assert!(ChaosFixture::load_dir(&dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn minting_requires_the_predicate() {
+        let report = ProbeReport {
+            perturbation: Perturbation::zero(1),
+            baseline_ns: 100,
+            static_ns: 100,
+            replan_ns: 100,
+            lint_notes: vec![],
+            ledger_notes: vec![],
+            score: ChaosScore::default(),
+        };
+        assert!(ChaosFixture::from_report("x", "y", ChaosPredicate::LintErrors, &report).is_err());
+    }
+}

@@ -1,0 +1,696 @@
+//! The perturbation space: one point = one adversarial environment.
+//!
+//! Every knob is an **integer tick count**, so a perturbation's
+//! [`size`](Perturbation::size) is an exact integer, shrinking is a strict
+//! monotone decrease, and serialization round-trips bit-exactly through
+//! optimus-json. The knobs map onto the fault machinery the repo already
+//! models:
+//!
+//! * straggler / link / jitter / stall knobs → [`FaultScenario`]s in a
+//!   seeded [`FaultModel`];
+//! * `mb_skew_pct` → a trace-distribution shift: the true per-microbatch
+//!   encoder load ramps away from the distribution the plan assumed;
+//! * `failures` → fail-stop / device-loss events, injected into the step
+//!   graph *and* replayed as a [`FailureTrace`] against the checkpoint
+//!   plan's multi-step recovery lifecycle.
+
+use optimus_cluster::{DurNs, LinkClass, TimeNs};
+use optimus_detrand::{rngs::StdRng, Rng, RngExt, SeedableRng};
+use optimus_faults::{FaultModel, FaultScenario};
+use optimus_json::Json;
+use optimus_recovery::{Failure, FailureKind, FailureTrace};
+
+use crate::error::ChaosError;
+
+/// Which link class a perturbation degrades.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradedClass {
+    /// No link degradation.
+    None,
+    /// Intra-node NVLink.
+    NvLink,
+    /// Inter-node RDMA.
+    Rdma,
+}
+
+impl DegradedClass {
+    /// Stable label used in JSON and canonical keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DegradedClass::None => "none",
+            DegradedClass::NvLink => "nvlink",
+            DegradedClass::Rdma => "rdma",
+        }
+    }
+
+    fn from_label(s: &str) -> Result<DegradedClass, ChaosError> {
+        match s {
+            "none" => Ok(DegradedClass::None),
+            "nvlink" => Ok(DegradedClass::NvLink),
+            "rdma" => Ok(DegradedClass::Rdma),
+            other => Err(ChaosError::Invalid(format!("unknown link class `{other}`"))),
+        }
+    }
+
+    /// The cluster link class, when degradation is on.
+    pub fn link_class(&self) -> Option<LinkClass> {
+        match self {
+            DegradedClass::None => None,
+            DegradedClass::NvLink => Some(LinkClass::NvLink),
+            DegradedClass::Rdma => Some(LinkClass::Rdma),
+        }
+    }
+}
+
+/// One fail-stop or device-loss event, positioned relatively so the same
+/// spec scales to both the single-step graph and the multi-step lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailureSpec {
+    /// Failing device index.
+    pub device: u32,
+    /// Failure instant as a percentage of the horizon, in `1..=99`.
+    pub at_pct: u32,
+    /// Restart cost (transient) or repair lead time (permanent), ms.
+    pub downtime_ms: u32,
+    /// Permanent device loss (true) vs transient fail-stop (false).
+    pub permanent: bool,
+}
+
+/// Size weight of *having* a failure at all, before its downtime ticks:
+/// dropping a failure must always shrink more than relaxing its knobs.
+const FAILURE_BASE: u64 = 1_000;
+
+impl FailureSpec {
+    /// Ticks this failure contributes to the perturbation size.
+    pub fn size(&self) -> u64 {
+        FAILURE_BASE + self.downtime_ms as u64
+    }
+
+    fn to_json(self) -> Json {
+        Json::obj(vec![
+            ("device", Json::Num(self.device as f64)),
+            ("at_pct", Json::Num(self.at_pct as f64)),
+            ("downtime_ms", Json::Num(self.downtime_ms as f64)),
+            ("permanent", Json::Bool(self.permanent)),
+        ])
+    }
+
+    fn from_json(j: &Json) -> Result<FailureSpec, ChaosError> {
+        let num = |k: &str| -> Result<u32, ChaosError> {
+            j.field(k)
+                .and_then(|v| v.as_u32())
+                .map_err(|e| ChaosError::Invalid(format!("failure.{k}: {e}")))
+        };
+        Ok(FailureSpec {
+            device: num("device")?,
+            at_pct: num("at_pct")?,
+            downtime_ms: num("downtime_ms")?,
+            permanent: j
+                .field("permanent")
+                .and_then(|v| v.as_bool())
+                .map_err(|e| ChaosError::Invalid(format!("failure.permanent: {e}")))?,
+        })
+    }
+}
+
+/// One point in the perturbation space. All knobs are integer ticks; zero
+/// everywhere (and no failures) is the identity environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Perturbation {
+    /// Device slowed by the straggler, when `straggler_pct > 0`.
+    pub straggler_device: u32,
+    /// Straggler slowdown in percent over 1×: `slowdown = 1 + pct/100`.
+    pub straggler_pct: u32,
+    /// Which link class is degraded.
+    pub link_class: DegradedClass,
+    /// Bandwidth drop in percent: `bandwidth_factor = 1 − pct/100`.
+    pub link_bw_drop_pct: u32,
+    /// Latency inflation in percent: `latency_factor = 1 + pct/100`.
+    pub link_lat_pct: u32,
+    /// Kernel-jitter amplitude in percent: `eps = pct/100`.
+    pub jitter_pct: u32,
+    /// Transient-stall probability in percent.
+    pub stall_pct: u32,
+    /// Stall duration in microseconds.
+    pub stall_us: u32,
+    /// Trace-distribution shift: the true load of the last microbatch is
+    /// `1 + pct/100` times the planned load, ramping linearly from the
+    /// first microbatch (which stays at the planned load).
+    pub mb_skew_pct: u32,
+    /// Fail-stop / device-loss events.
+    pub failures: Vec<FailureSpec>,
+    /// Seed of the jitter/stall draw streams.
+    pub seed: u64,
+}
+
+/// Knob bounds, shared by validation and random sampling.
+pub const MAX_STRAGGLER_PCT: u32 = 400;
+/// Bandwidth can drop at most 95% (the factor stays positive).
+pub const MAX_BW_DROP_PCT: u32 = 95;
+/// Latency inflation cap.
+pub const MAX_LAT_PCT: u32 = 400;
+/// Jitter amplitude must stay below 100% (`eps < 1`).
+pub const MAX_JITTER_PCT: u32 = 95;
+/// Stall probability cap (100% = every matching kernel stalls).
+pub const MAX_STALL_PCT: u32 = 100;
+/// Stall duration cap, µs.
+pub const MAX_STALL_US: u32 = 100_000;
+/// Microbatch-skew cap.
+pub const MAX_MB_SKEW_PCT: u32 = 200;
+/// Failure-count cap per perturbation.
+pub const MAX_FAILURES: usize = 8;
+/// Failure downtime cap, ms.
+pub const MAX_DOWNTIME_MS: u32 = 60_000;
+
+impl Perturbation {
+    /// The identity perturbation under `seed`.
+    pub fn zero(seed: u64) -> Perturbation {
+        Perturbation {
+            straggler_device: 0,
+            straggler_pct: 0,
+            link_class: DegradedClass::None,
+            link_bw_drop_pct: 0,
+            link_lat_pct: 0,
+            jitter_pct: 0,
+            stall_pct: 0,
+            stall_us: 0,
+            mb_skew_pct: 0,
+            failures: Vec::new(),
+            seed,
+        }
+    }
+
+    /// True when no knob is active: the probe must score all-clean.
+    pub fn is_identity(&self) -> bool {
+        self.straggler_pct == 0
+            && self.link_class == DegradedClass::None
+            && self.jitter_pct == 0
+            && self.stall_pct == 0
+            && self.mb_skew_pct == 0
+            && self.failures.is_empty()
+    }
+
+    /// Total perturbation size in ticks — the quantity shrinking minimizes.
+    pub fn size(&self) -> u64 {
+        self.straggler_pct as u64
+            + self.link_bw_drop_pct as u64
+            + self.link_lat_pct as u64
+            + self.jitter_pct as u64
+            + self.stall_pct as u64
+            + (self.stall_us as u64).div_ceil(50)
+            + self.mb_skew_pct as u64
+            + self.failures.iter().map(|f| f.size()).sum::<u64>()
+    }
+
+    /// Bounds-checks every knob against the harness's device count.
+    pub fn validate(&self, num_devices: u32) -> Result<(), ChaosError> {
+        let check = |name: &str, v: u32, max: u32| -> Result<(), ChaosError> {
+            if v > max {
+                return Err(ChaosError::Invalid(format!("{name} {v} exceeds {max}")));
+            }
+            Ok(())
+        };
+        check("straggler_pct", self.straggler_pct, MAX_STRAGGLER_PCT)?;
+        check("link_bw_drop_pct", self.link_bw_drop_pct, MAX_BW_DROP_PCT)?;
+        check("link_lat_pct", self.link_lat_pct, MAX_LAT_PCT)?;
+        check("jitter_pct", self.jitter_pct, MAX_JITTER_PCT)?;
+        check("stall_pct", self.stall_pct, MAX_STALL_PCT)?;
+        check("stall_us", self.stall_us, MAX_STALL_US)?;
+        check("mb_skew_pct", self.mb_skew_pct, MAX_MB_SKEW_PCT)?;
+        if self.straggler_pct > 0 && self.straggler_device >= num_devices {
+            return Err(ChaosError::Invalid(format!(
+                "straggler device {} out of range (cluster has {num_devices})",
+                self.straggler_device
+            )));
+        }
+        if self.link_class != DegradedClass::None
+            && self.link_bw_drop_pct == 0
+            && self.link_lat_pct == 0
+        {
+            return Err(ChaosError::Invalid(
+                "degraded link class set but both degradation knobs are zero".into(),
+            ));
+        }
+        if self.link_class == DegradedClass::None
+            && (self.link_bw_drop_pct > 0 || self.link_lat_pct > 0)
+        {
+            return Err(ChaosError::Invalid(
+                "link degradation knobs set without a link class".into(),
+            ));
+        }
+        if self.failures.len() > MAX_FAILURES {
+            return Err(ChaosError::Invalid(format!(
+                "{} failures exceed the cap of {MAX_FAILURES}",
+                self.failures.len()
+            )));
+        }
+        for f in &self.failures {
+            if f.device >= num_devices {
+                return Err(ChaosError::Invalid(format!(
+                    "failure device {} out of range (cluster has {num_devices})",
+                    f.device
+                )));
+            }
+            if !(1..=99).contains(&f.at_pct) {
+                return Err(ChaosError::Invalid(format!(
+                    "failure at_pct {} outside 1..=99",
+                    f.at_pct
+                )));
+            }
+            if f.downtime_ms == 0 || f.downtime_ms > MAX_DOWNTIME_MS {
+                return Err(ChaosError::Invalid(format!(
+                    "failure downtime {} ms outside 1..={MAX_DOWNTIME_MS}",
+                    f.downtime_ms
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Canonicalizes inactive knobs so equal environments have equal keys:
+    /// a zero-strength straggler pins its device to 0, a zero-degradation
+    /// link drops its class, a zero-probability stall zeroes its duration.
+    pub fn canon(mut self) -> Perturbation {
+        if self.straggler_pct == 0 {
+            self.straggler_device = 0;
+        }
+        if self.link_bw_drop_pct == 0 && self.link_lat_pct == 0 {
+            self.link_class = DegradedClass::None;
+        }
+        if self.link_class == DegradedClass::None {
+            self.link_bw_drop_pct = 0;
+            self.link_lat_pct = 0;
+        }
+        if self.stall_pct == 0 {
+            self.stall_us = 0;
+        }
+        if self.stall_us == 0 {
+            self.stall_pct = 0;
+        }
+        self
+    }
+
+    /// Builds the seeded fault model for the single-step graph. `horizon_ns`
+    /// is the fault-free step makespan; failure instants land at
+    /// `at_pct`% of it.
+    pub fn fault_model(&self, horizon_ns: i64) -> Result<FaultModel, ChaosError> {
+        let mut scenarios = Vec::new();
+        if self.straggler_pct > 0 {
+            scenarios.push(FaultScenario::StragglerDevice {
+                device: self.straggler_device,
+                slowdown: 1.0 + self.straggler_pct as f64 / 100.0,
+            });
+        }
+        if let Some(class) = self.link_class.link_class() {
+            scenarios.push(FaultScenario::DegradedLink {
+                class,
+                bandwidth_factor: 1.0 - self.link_bw_drop_pct as f64 / 100.0,
+                latency_factor: 1.0 + self.link_lat_pct as f64 / 100.0,
+            });
+        }
+        if self.jitter_pct > 0 {
+            scenarios.push(FaultScenario::KernelJitter {
+                eps: self.jitter_pct as f64 / 100.0,
+            });
+        }
+        if self.stall_pct > 0 && self.stall_us > 0 {
+            scenarios.push(FaultScenario::TransientStalls {
+                prob: self.stall_pct as f64 / 100.0,
+                stall: DurNs(self.stall_us as u64 * 1_000),
+                device: None,
+            });
+        }
+        for f in &self.failures {
+            let at = TimeNs((horizon_ns.max(0) as u64).saturating_mul(f.at_pct as u64) / 100);
+            let downtime = DurNs(f.downtime_ms as u64 * 1_000_000);
+            scenarios.push(if f.permanent {
+                FaultScenario::DeviceLoss {
+                    device: f.device,
+                    at,
+                    repair: downtime,
+                }
+            } else {
+                FaultScenario::FailStop {
+                    device: f.device,
+                    at,
+                    restart: downtime,
+                }
+            });
+        }
+        let mut model = FaultModel::new(self.seed);
+        for s in scenarios {
+            model = model
+                .with(s)
+                .map_err(|e| ChaosError::Invalid(e.to_string()))?;
+        }
+        Ok(model)
+    }
+
+    /// Replays the failure specs as a multi-step [`FailureTrace`] over a
+    /// recovery horizon of `horizon_wall_ns`.
+    pub fn failure_trace(&self, horizon_wall_ns: i64) -> Result<FailureTrace, ChaosError> {
+        let failures = self
+            .failures
+            .iter()
+            .map(|f| {
+                let at =
+                    TimeNs((horizon_wall_ns.max(0) as u64).saturating_mul(f.at_pct as u64) / 100);
+                let downtime = DurNs(f.downtime_ms as u64 * 1_000_000);
+                Failure {
+                    at,
+                    device: f.device,
+                    kind: if f.permanent {
+                        FailureKind::Permanent { repair: downtime }
+                    } else {
+                        FailureKind::Transient { restart: downtime }
+                    },
+                }
+            })
+            .collect();
+        FailureTrace::new(failures).map_err(|e| ChaosError::Invalid(e.to_string()))
+    }
+
+    /// The true per-microbatch load shift: a linear ramp from 1.0 on the
+    /// first microbatch to `1 + mb_skew_pct/100` on the last.
+    pub fn mb_shift(&self, n_mb: usize) -> Vec<f64> {
+        let span = (n_mb.max(1) - 1).max(1) as f64;
+        (0..n_mb)
+            .map(|m| 1.0 + self.mb_skew_pct as f64 / 100.0 * m as f64 / span)
+            .collect()
+    }
+
+    /// JSON encoding (bit-exact round trip via [`Perturbation::from_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("straggler_device", Json::Num(self.straggler_device as f64)),
+            ("straggler_pct", Json::Num(self.straggler_pct as f64)),
+            ("link_class", Json::Str(self.link_class.label().into())),
+            ("link_bw_drop_pct", Json::Num(self.link_bw_drop_pct as f64)),
+            ("link_lat_pct", Json::Num(self.link_lat_pct as f64)),
+            ("jitter_pct", Json::Num(self.jitter_pct as f64)),
+            ("stall_pct", Json::Num(self.stall_pct as f64)),
+            ("stall_us", Json::Num(self.stall_us as f64)),
+            ("mb_skew_pct", Json::Num(self.mb_skew_pct as f64)),
+            (
+                "failures",
+                Json::Arr(self.failures.iter().map(|f| f.to_json()).collect()),
+            ),
+            ("seed", Json::Num(self.seed as f64)),
+        ])
+    }
+
+    /// Decodes a perturbation from its JSON encoding.
+    pub fn from_json(j: &Json) -> Result<Perturbation, ChaosError> {
+        let num = |k: &str| -> Result<u32, ChaosError> {
+            j.field(k)
+                .and_then(|v| v.as_u32())
+                .map_err(|e| ChaosError::Invalid(format!("{k}: {e}")))
+        };
+        let failures = j
+            .field("failures")
+            .and_then(|v| v.as_arr().map(|a| a.to_vec()))
+            .map_err(|e| ChaosError::Invalid(format!("failures: {e}")))?
+            .iter()
+            .map(FailureSpec::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Perturbation {
+            straggler_device: num("straggler_device")?,
+            straggler_pct: num("straggler_pct")?,
+            link_class: DegradedClass::from_label(
+                j.field("link_class")
+                    .and_then(|v| v.as_str().map(str::to_string))
+                    .map_err(|e| ChaosError::Invalid(format!("link_class: {e}")))?
+                    .as_str(),
+            )?,
+            link_bw_drop_pct: num("link_bw_drop_pct")?,
+            link_lat_pct: num("link_lat_pct")?,
+            jitter_pct: num("jitter_pct")?,
+            stall_pct: num("stall_pct")?,
+            stall_us: num("stall_us")?,
+            mb_skew_pct: num("mb_skew_pct")?,
+            failures,
+            seed: j
+                .field("seed")
+                .and_then(|v| v.as_u64())
+                .map_err(|e| ChaosError::Invalid(format!("seed: {e}")))?,
+        })
+    }
+
+    /// Canonical ordering/dedup key: the compact JSON encoding.
+    pub fn key(&self) -> String {
+        self.to_json().to_compact()
+    }
+
+    /// Short human-readable summary for logs and fixture descriptions.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if self.straggler_pct > 0 {
+            parts.push(format!(
+                "straggler dev{} +{}%",
+                self.straggler_device, self.straggler_pct
+            ));
+        }
+        if self.link_class != DegradedClass::None {
+            parts.push(format!(
+                "{} -{}% bw +{}% lat",
+                self.link_class.label(),
+                self.link_bw_drop_pct,
+                self.link_lat_pct
+            ));
+        }
+        if self.jitter_pct > 0 {
+            parts.push(format!("jitter {}%", self.jitter_pct));
+        }
+        if self.stall_pct > 0 {
+            parts.push(format!("stalls {}% x {}us", self.stall_pct, self.stall_us));
+        }
+        if self.mb_skew_pct > 0 {
+            parts.push(format!("mb skew +{}%", self.mb_skew_pct));
+        }
+        for f in &self.failures {
+            parts.push(format!(
+                "{} dev{} @{}% {}ms",
+                if f.permanent { "loss" } else { "failstop" },
+                f.device,
+                f.at_pct,
+                f.downtime_ms
+            ));
+        }
+        if parts.is_empty() {
+            return "identity".into();
+        }
+        parts.join(", ")
+    }
+
+    /// Draws a random starting point from a seeded detrand stream: each
+    /// knob is active with moderate probability so restarts explore mixed
+    /// environments. Bit-identical for equal `(seed, num_devices)`.
+    pub fn sample(seed: u64, num_devices: u32) -> Perturbation {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = Perturbation::zero(seed);
+        if rng.next_f64() < 0.6 {
+            p.straggler_device = rng.random_range(0..num_devices.max(1));
+            p.straggler_pct = rng.random_range(10u32..=MAX_STRAGGLER_PCT / 2);
+        }
+        if rng.next_f64() < 0.4 {
+            p.link_class = if rng.next_f64() < 0.5 {
+                DegradedClass::NvLink
+            } else {
+                DegradedClass::Rdma
+            };
+            p.link_bw_drop_pct = rng.random_range(10u32..=MAX_BW_DROP_PCT);
+            p.link_lat_pct = rng.random_range(0u32..=MAX_LAT_PCT / 2);
+        }
+        if rng.next_f64() < 0.4 {
+            p.jitter_pct = rng.random_range(5u32..=MAX_JITTER_PCT / 2);
+        }
+        if rng.next_f64() < 0.3 {
+            p.stall_pct = rng.random_range(10u32..=60);
+            p.stall_us = rng.random_range(100u32..=2_000);
+        }
+        if rng.next_f64() < 0.4 {
+            p.mb_skew_pct = rng.random_range(10u32..=MAX_MB_SKEW_PCT / 2);
+        }
+        let n_failures = rng.random_range(0u32..=2);
+        for i in 0..n_failures {
+            p.failures.push(FailureSpec {
+                device: rng.random_range(0..num_devices.max(1)),
+                at_pct: rng.random_range(10u32..=90),
+                downtime_ms: rng.random_range(20u32..=1_000),
+                permanent: i > 0 && rng.next_f64() < 0.5,
+            });
+        }
+        p.canon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_size_zero() {
+        let p = Perturbation::zero(7);
+        assert!(p.is_identity());
+        assert_eq!(p.size(), 0);
+        p.validate(8).unwrap();
+        assert_eq!(p.describe(), "identity");
+        let model = p.fault_model(1_000_000).unwrap();
+        assert!(model.scenarios().is_empty());
+        assert!(p.failure_trace(1_000_000).unwrap().is_empty());
+    }
+
+    #[test]
+    fn json_round_trips_bit_exactly() {
+        let p = Perturbation {
+            straggler_device: 3,
+            straggler_pct: 120,
+            link_class: DegradedClass::Rdma,
+            link_bw_drop_pct: 60,
+            link_lat_pct: 40,
+            jitter_pct: 15,
+            stall_pct: 25,
+            stall_us: 500,
+            mb_skew_pct: 80,
+            failures: vec![
+                FailureSpec {
+                    device: 1,
+                    at_pct: 40,
+                    downtime_ms: 50,
+                    permanent: false,
+                },
+                FailureSpec {
+                    device: 2,
+                    at_pct: 70,
+                    downtime_ms: 900,
+                    permanent: true,
+                },
+            ],
+            seed: 42,
+        };
+        p.validate(8).unwrap();
+        let text = p.to_json().to_compact();
+        let back = Perturbation::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.key(), p.key());
+    }
+
+    #[test]
+    fn size_is_monotone_in_every_knob() {
+        let mut p = Perturbation::zero(0);
+        let mut last = p.size();
+        p.straggler_pct = 50;
+        assert!(p.size() > last);
+        last = p.size();
+        p.link_class = DegradedClass::NvLink;
+        p.link_bw_drop_pct = 30;
+        assert!(p.size() > last);
+        last = p.size();
+        p.jitter_pct = 10;
+        assert!(p.size() > last);
+        last = p.size();
+        p.stall_pct = 20;
+        p.stall_us = 400;
+        assert!(p.size() > last);
+        last = p.size();
+        p.mb_skew_pct = 25;
+        assert!(p.size() > last);
+        last = p.size();
+        p.failures.push(FailureSpec {
+            device: 0,
+            at_pct: 50,
+            downtime_ms: 100,
+            permanent: false,
+        });
+        assert!(p.size() > last);
+        // Halving a failure's downtime shrinks, dropping it shrinks more.
+        let mut halved = p.clone();
+        halved.failures[0].downtime_ms = 50;
+        let mut dropped = p.clone();
+        dropped.failures.clear();
+        assert!(halved.size() < p.size());
+        assert!(dropped.size() < halved.size());
+    }
+
+    #[test]
+    fn validation_rejects_out_of_range_knobs() {
+        let mut p = Perturbation::zero(0);
+        p.straggler_pct = MAX_STRAGGLER_PCT + 1;
+        assert!(p.validate(8).is_err());
+        let mut p = Perturbation::zero(0);
+        p.straggler_pct = 10;
+        p.straggler_device = 8;
+        assert!(p.validate(8).is_err());
+        let mut p = Perturbation::zero(0);
+        p.link_class = DegradedClass::NvLink;
+        assert!(p.validate(8).is_err(), "class without knobs");
+        let mut p = Perturbation::zero(0);
+        p.link_bw_drop_pct = 10;
+        assert!(p.validate(8).is_err(), "knobs without class");
+        let mut p = Perturbation::zero(0);
+        p.failures.push(FailureSpec {
+            device: 0,
+            at_pct: 0,
+            downtime_ms: 10,
+            permanent: false,
+        });
+        assert!(p.validate(8).is_err(), "at_pct 0");
+        p.failures[0].at_pct = 50;
+        p.failures[0].downtime_ms = 0;
+        assert!(p.validate(8).is_err(), "zero downtime");
+    }
+
+    #[test]
+    fn canon_normalizes_inactive_knobs() {
+        let mut p = Perturbation::zero(0);
+        p.straggler_device = 5;
+        p.stall_us = 300;
+        let c = p.canon();
+        assert_eq!(c.straggler_device, 0);
+        assert_eq!(c.stall_us, 0);
+        assert_eq!(c, Perturbation::zero(0));
+    }
+
+    #[test]
+    fn fault_model_scenario_order_is_fixed() {
+        let mut p = Perturbation::zero(9);
+        p.straggler_pct = 50;
+        p.jitter_pct = 10;
+        p.failures.push(FailureSpec {
+            device: 1,
+            at_pct: 50,
+            downtime_ms: 20,
+            permanent: false,
+        });
+        let m = p.fault_model(1_000_000).unwrap();
+        let labels: Vec<&str> = m.scenarios().iter().map(|s| s.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["straggler_device", "kernel_jitter", "fail_stop"]
+        );
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let a = Perturbation::sample(11, 8);
+        let b = Perturbation::sample(11, 8);
+        assert_eq!(a, b);
+        a.validate(8).unwrap();
+        let c = Perturbation::sample(12, 8);
+        assert!(a != c, "different seeds should explore different points");
+    }
+
+    #[test]
+    fn mb_shift_ramps_to_the_skew() {
+        let mut p = Perturbation::zero(0);
+        p.mb_skew_pct = 100;
+        let s = p.mb_shift(5);
+        assert_eq!(s.len(), 5);
+        assert!((s[0] - 1.0).abs() < 1e-12);
+        assert!((s[4] - 2.0).abs() < 1e-12);
+        for w in s.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(Perturbation::zero(0).mb_shift(3), vec![1.0; 3]);
+    }
+}

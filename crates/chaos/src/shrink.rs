@@ -1,0 +1,166 @@
+//! Property-test-style minimization of chaos counterexamples.
+//!
+//! Given a perturbation whose probe satisfies a [`ChaosPredicate`], the
+//! shrinker repeatedly tries a fixed-order list of reductions — dropping
+//! failures, halving downtimes, zeroing whole knob groups, halving
+//! individual knobs — and accepts the first reduction whose probe still
+//! satisfies the predicate. Every accepted step strictly reduces
+//! [`Perturbation::size`], so the loop terminates; the result is a locally
+//! minimal counterexample fit for a regression fixture.
+
+use crate::error::ChaosError;
+use crate::harness::ChaosHarness;
+use crate::perturbation::{DegradedClass, Perturbation};
+use crate::score::{ChaosPredicate, ProbeReport};
+
+/// Outcome of a shrink run.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The starting probe (predicate holds).
+    pub original: ProbeReport,
+    /// The minimized probe (predicate still holds).
+    pub shrunk: ProbeReport,
+    /// Accepted reductions.
+    pub steps: u32,
+    /// Probes spent (accepted and rejected).
+    pub probes: u32,
+}
+
+impl ShrinkResult {
+    /// How much smaller the counterexample got.
+    pub fn reduction(&self) -> u64 {
+        self.original
+            .perturbation
+            .size()
+            .saturating_sub(self.shrunk.perturbation.size())
+    }
+}
+
+/// Candidate reductions of `p`, in the fixed order the shrinker tries
+/// them: structural drops first (whole failures, whole knob groups), then
+/// halvings. Every candidate is canonical, valid, and strictly smaller
+/// than `p`.
+fn reductions(p: &Perturbation, num_devices: u32) -> Vec<Perturbation> {
+    let mut out: Vec<Perturbation> = Vec::new();
+    let mut push = |mut c: Perturbation| {
+        c = c.canon();
+        if c.size() < p.size() && c.validate(num_devices).is_ok() {
+            out.push(c);
+        }
+    };
+
+    // Drop one failure at a time.
+    for i in 0..p.failures.len() {
+        let mut c = p.clone();
+        c.failures.remove(i);
+        push(c);
+    }
+    // Truncate the failure list to its first half.
+    if p.failures.len() >= 2 {
+        let mut c = p.clone();
+        c.failures.truncate(p.failures.len() / 2);
+        push(c);
+    }
+    // Halve one failure's downtime.
+    for i in 0..p.failures.len() {
+        if p.failures[i].downtime_ms > 1 {
+            let mut c = p.clone();
+            c.failures[i].downtime_ms /= 2;
+            push(c);
+        }
+    }
+    // Zero whole knob groups.
+    if p.straggler_pct > 0 {
+        let mut c = p.clone();
+        c.straggler_pct = 0;
+        push(c);
+    }
+    if p.link_class != DegradedClass::None {
+        let mut c = p.clone();
+        c.link_class = DegradedClass::None;
+        c.link_bw_drop_pct = 0;
+        c.link_lat_pct = 0;
+        push(c);
+    }
+    if p.jitter_pct > 0 {
+        let mut c = p.clone();
+        c.jitter_pct = 0;
+        push(c);
+    }
+    if p.stall_pct > 0 {
+        let mut c = p.clone();
+        c.stall_pct = 0;
+        c.stall_us = 0;
+        push(c);
+    }
+    if p.mb_skew_pct > 0 {
+        let mut c = p.clone();
+        c.mb_skew_pct = 0;
+        push(c);
+    }
+    // Halve individual knobs (relax degradations while the failure
+    // hopefully still reproduces).
+    for f in [
+        |c: &mut Perturbation| c.straggler_pct /= 2,
+        |c: &mut Perturbation| c.link_bw_drop_pct /= 2,
+        |c: &mut Perturbation| c.link_lat_pct /= 2,
+        |c: &mut Perturbation| c.jitter_pct /= 2,
+        |c: &mut Perturbation| c.stall_pct /= 2,
+        |c: &mut Perturbation| c.stall_us /= 2,
+        |c: &mut Perturbation| c.mb_skew_pct /= 2,
+    ] {
+        let mut c = p.clone();
+        f(&mut c);
+        push(c);
+    }
+    out
+}
+
+/// Minimizes a counterexample while `predicate` keeps holding.
+///
+/// Errors if the predicate does not hold on `start` to begin with.
+/// Deterministic: reductions are tried in a fixed order and the first
+/// surviving one is accepted, so the same start always shrinks to the
+/// same minimum.
+pub fn shrink(
+    harness: &ChaosHarness,
+    predicate: ChaosPredicate,
+    start: &Perturbation,
+) -> Result<ShrinkResult, ChaosError> {
+    let original = harness.probe(start)?;
+    if !predicate.holds(&original) {
+        return Err(ChaosError::Probe(format!(
+            "predicate {} does not hold on the starting perturbation {}",
+            predicate.label(),
+            start.describe()
+        )));
+    }
+    let num_devices = harness.num_devices();
+    let mut current = original.clone();
+    let mut steps = 0u32;
+    let mut probes = 1u32;
+    loop {
+        let mut accepted = false;
+        for cand in reductions(&current.perturbation, num_devices) {
+            probes += 1;
+            // A reduction that fails to probe is simply skipped.
+            let Ok(report) = harness.probe(&cand) else {
+                continue;
+            };
+            if predicate.holds(&report) {
+                current = report;
+                steps += 1;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            return Ok(ShrinkResult {
+                original,
+                shrunk: current,
+                steps,
+                probes,
+            });
+        }
+    }
+}

@@ -17,13 +17,12 @@
 use optimus_baselines::common::SystemContext;
 use optimus_faults::{measure_drift, DriftSummary, FaultError, FaultEvent, FaultModel};
 use optimus_modeling::Workload;
-use optimus_pipeline::lower;
 use optimus_sim::simulate;
 use optimus_trace::TraceAnnotation;
 
 use crate::error::OptimusError;
 use crate::optimus::{run_optimus, OptimusConfig, OptimusRun};
-use crate::verify::build_schedule_inserts;
+use crate::verify::lowered_schedule;
 
 /// Outcome of one fault → monitor → re-plan cycle.
 #[derive(Debug, Clone)]
@@ -123,8 +122,7 @@ pub fn resilience_study(
     }
 
     // The profiled timeline: the chosen schedule spliced into the LLM graph.
-    let inserts = build_schedule_inserts(run, w, ctx)?;
-    let lowered = lower(&run.profile.spec, &run.profile.schedule, &inserts)?;
+    let lowered = lowered_schedule(run, w, ctx)?;
     let expected = simulate(&lowered.graph).map_err(sim_err)?;
     let baseline_secs = expected.makespan().as_secs_f64();
 
@@ -170,8 +168,7 @@ pub fn resilience_study(
     // rescales the globally-folded encoder slowdown to the true per-device
     // fault, and re-applies the rest (LLM straggling, jitter, stalls).
     let replanned_secs = if replanned.enc_plan.tp == replanned.profile.llm_plan.tp {
-        let ins2 = build_schedule_inserts(&replanned, w, &ctx2)?;
-        let low2 = lower(&replanned.profile.spec, &replanned.profile.schedule, &ins2)?;
+        let low2 = lowered_schedule(&replanned, w, &ctx2)?;
         let inj2 = faults
             .inject_residual(&low2.graph, &ctx2.topo)
             .map_err(fault_err)?;

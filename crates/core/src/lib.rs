@@ -65,4 +65,4 @@ pub use robustness::{drift_study, jitter_study, perturb_uniform, DriftReport, Ro
 pub use scheduler::{
     sample_load_scales, BubbleScheduler, CoarseBlock, KernelPlacement, ScheduleOutcome,
 };
-pub use verify::{verify, VerifyReport};
+pub use verify::{lowered_schedule, verify, VerifyReport};

@@ -3,17 +3,16 @@
 //! exceed GPU memory — plus the parallel search engine that evaluates the
 //! surviving candidates.
 //!
-//! The search engine fans candidates out across `std::thread::scope`
-//! workers with atomic work-claiming, then reduces all results by a total
-//! order — (latency, plan tuple, candidate index) — so the selected plan is
-//! bit-identical to a sequential sweep regardless of worker count or
-//! claiming interleave.
+//! The search engine fans candidates out over the shared deterministic
+//! worker pool (`optimus_parallel::pool`), then reduces all results by a
+//! total order — (latency, plan tuple, candidate index) — so the selected
+//! plan is bit-identical to a sequential sweep regardless of worker count
+//! or claiming interleave.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use optimus_modeling::Workload;
-use optimus_parallel::{enumerate_encoder_plans, ColocationLayout, ParallelPlan};
+use optimus_parallel::{enumerate_encoder_plans, pool, ColocationLayout, ParallelPlan};
 
 use crate::error::OptimusError;
 use crate::memory::optimus_memory;
@@ -168,13 +167,9 @@ pub struct PlanSearch {
 }
 
 /// Resolves a worker-count knob: `0` means one worker per available core.
+/// (Delegates to the shared pool in `optimus-parallel`.)
 pub fn resolve_workers(requested: usize) -> usize {
-    if requested > 0 {
-        return requested;
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    pool::resolve_workers(requested)
 }
 
 /// Evaluates every candidate with `eval` across `workers` threads and
@@ -231,10 +226,11 @@ pub struct SearchChunk {
 /// Evaluates chunked work items across `workers` threads and reduces to
 /// the best feasible schedule.
 ///
-/// Work items are claimed from a shared atomic counter, so workers stay
-/// busy regardless of per-item cost skew. `eval` must be a pure function
-/// of its arguments: it runs concurrently and its results are merged by
-/// `(candidate, lo)` afterwards.
+/// The fan-out runs on the shared deterministic worker pool
+/// ([`optimus_parallel::pool`]): work items are claimed from a shared
+/// atomic counter, so workers stay busy regardless of per-item cost skew.
+/// `eval` must be a pure function of its arguments: it runs concurrently
+/// and its results are merged by `(candidate, lo)` afterwards.
 ///
 /// Determinism contract: the reduction is a total order over *all*
 /// results — first by schedule latency, then by the encoder plan tuple
@@ -252,49 +248,26 @@ pub fn search_plan_chunks<F>(
 where
     F: Fn(&SearchChunk, &EncoderCandidate) -> Result<CandidateVerdict, OptimusError> + Sync,
 {
-    let workers = resolve_workers(workers).min(chunks.len()).max(1);
-    let t_wall = Instant::now();
-    let next = AtomicUsize::new(0);
-    let mut per_worker: Vec<WorkerTiming> = Vec::with_capacity(workers);
-    let mut results: Vec<(usize, Result<CandidateVerdict, OptimusError>)> =
-        Vec::with_capacity(chunks.len());
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|worker| {
-                let next = &next;
-                let eval = &eval;
-                s.spawn(move || {
-                    let t0 = Instant::now();
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= chunks.len() {
-                            break;
-                        }
-                        let chunk = &chunks[i];
-                        local.push((i, eval(chunk, &candidates[chunk.candidate])));
-                    }
-                    (
-                        WorkerTiming {
-                            worker,
-                            candidates: local.len(),
-                            busy: t0.elapsed(),
-                        },
-                        local,
-                    )
-                })
-            })
-            .collect();
-        for h in handles {
-            let (timing, local) = h.join().expect("plan-search worker panicked");
-            per_worker.push(timing);
-            results.extend(local);
-        }
+    let pool_run = pool::par_map(chunks, workers, |_, chunk| {
+        eval(chunk, &candidates[chunk.candidate])
     });
-    per_worker.sort_by_key(|t| t.worker);
+    let workers = pool_run.workers;
+    let wall = pool_run.wall;
+    let per_worker: Vec<WorkerTiming> = pool_run
+        .per_worker
+        .iter()
+        .map(|t| WorkerTiming {
+            worker: t.worker,
+            candidates: t.items,
+            busy: t.busy,
+        })
+        .collect();
     // Merge in (candidate, chunk start) order so error propagation and
     // tie-breaking are independent of claiming interleave and of the order
-    // the caller listed the chunks in.
+    // the caller listed the chunks in. The pool hands results back in input
+    // order; re-key them by the chunk they cover.
+    let mut results: Vec<(usize, Result<CandidateVerdict, OptimusError>)> =
+        pool_run.results.into_iter().enumerate().collect();
     results.sort_by_key(|(i, _)| (chunks[*i].candidate, chunks[*i].lo));
 
     let mut evaluated = vec![false; candidates.len()];
@@ -332,7 +305,7 @@ where
             work_items: chunks.len(),
             evaluated: evaluated.iter().filter(|&&b| b).count(),
             feasible: feasible.iter().filter(|&&b| b).count(),
-            wall: t_wall.elapsed(),
+            wall,
             per_worker,
         },
     })

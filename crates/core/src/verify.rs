@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use optimus_baselines::common::SystemContext;
 use optimus_cluster::DurNs;
 use optimus_modeling::Workload;
-use optimus_pipeline::{lower, Dir, InsertKernel, InsertStream, OpRef};
+use optimus_pipeline::{lower, Dir, InsertKernel, InsertStream, Lowered, OpRef};
 use optimus_sim::{simulate, TaskKind};
 
 use crate::encoder::EncoderWork;
@@ -63,21 +63,7 @@ pub fn verify(
     ctx: &SystemContext,
     tolerance: f64,
 ) -> Result<VerifyReport, OptimusError> {
-    if run.enc_plan.tp != run.profile.llm_plan.tp {
-        return Err(OptimusError::Infeasible(
-            "verification supports TP_enc == TP_llm layouts only".into(),
-        ));
-    }
-    if run.profile.adjusted {
-        return Err(OptimusError::Infeasible(
-            "verification requires unadjusted dependency points (set \
-             OptimusConfig::adjust_dep_points = false): deferred F points \
-             imply a warmup reorder the unmodified task graph cannot express"
-                .into(),
-        ));
-    }
-    let inserts = build_schedule_inserts(run, w, ctx)?;
-    let lowered = lower(&run.profile.spec, &run.profile.schedule, &inserts)?;
+    let lowered = lowered_schedule(run, w, ctx)?;
 
     // Lint before simulating: a structural defect in the spliced graph
     // (FIFO inversion, dependency cycle, mismatched collective sequence)
@@ -113,6 +99,36 @@ pub fn verify(
         simulated_secs: simulated,
         rel_error: rel,
     })
+}
+
+/// Splices the chosen bubble schedule into the LLM task graph and lowers
+/// the combined step, without simulating it.
+///
+/// This is the shared entry for every harness that needs the *executable*
+/// task graph of a run — the verifier, the adaptive resilience study, and
+/// the adversarial chaos search (`optimus-chaos`). Preconditions match
+/// [`verify`]: `TP_enc == TP_llm` (a one-lane layout the graph can express
+/// exactly) and unadjusted dependency points.
+pub fn lowered_schedule(
+    run: &OptimusRun,
+    w: &Workload,
+    ctx: &SystemContext,
+) -> Result<Lowered, OptimusError> {
+    if run.enc_plan.tp != run.profile.llm_plan.tp {
+        return Err(OptimusError::Infeasible(
+            "schedule splicing supports TP_enc == TP_llm layouts only".into(),
+        ));
+    }
+    if run.profile.adjusted {
+        return Err(OptimusError::Infeasible(
+            "schedule splicing requires unadjusted dependency points (set \
+             OptimusConfig::adjust_dep_points = false): deferred F points \
+             imply a warmup reorder the unmodified task graph cannot express"
+                .into(),
+        ));
+    }
+    let inserts = build_schedule_inserts(run, w, ctx)?;
+    Ok(lower(&run.profile.spec, &run.profile.schedule, &inserts)?)
 }
 
 /// Builds the insert set for a run, shared by [`verify`] and the

@@ -27,9 +27,11 @@ pub mod error;
 pub mod layout;
 pub mod microbatch;
 pub mod plan;
+pub mod pool;
 
 pub use enumerate::{divisors, enumerate_encoder_plans, enumerate_plans};
 pub use error::PlanError;
 pub use layout::ColocationLayout;
 pub use microbatch::{composition_count, Compositions};
 pub use plan::ParallelPlan;
+pub use pool::{par_map, resolve_workers, PoolRun, WorkerLoad};

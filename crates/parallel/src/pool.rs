@@ -1,0 +1,173 @@
+//! A deterministic scoped worker pool: fan a batch of work items out across
+//! `std::thread::scope` threads with atomic work-claiming, and hand the
+//! results back **in input order**.
+//!
+//! The pool is the repo's one shared fan-out primitive: the plan search in
+//! `optimus-core` drives its candidate sweep through it, and the adversarial
+//! chaos search in `optimus-chaos` evaluates perturbation probes on it.
+//! Both get the same contract:
+//!
+//! * work items are claimed from a shared atomic counter, so workers stay
+//!   busy regardless of per-item cost skew;
+//! * `eval` must be a pure function of `(index, item)` — it runs
+//!   concurrently and nothing else is synchronized;
+//! * results are returned indexed by input position, so any reduction the
+//!   caller performs over them is independent of claiming interleave and
+//!   therefore bit-identical at any worker count, including `workers == 1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resolves a worker-count knob: `0` means one worker per available core.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Wall-clock accounting for one pool worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerLoad {
+    /// Worker index in `0..workers`.
+    pub worker: usize,
+    /// Work items this worker claimed and evaluated.
+    pub items: usize,
+    /// Time the worker spent evaluating (excludes spawn/join overhead).
+    pub busy: Duration,
+}
+
+/// Results of one pool run: per-item results in input order plus timing.
+#[derive(Debug, Clone)]
+pub struct PoolRun<R> {
+    /// `results[i]` is `eval(i, &items[i])`.
+    pub results: Vec<R>,
+    /// Worker threads actually used (after clamping to the item count).
+    pub workers: usize,
+    /// Per-worker breakdown, ordered by worker index.
+    pub per_worker: Vec<WorkerLoad>,
+    /// Wall-clock time of the whole fan-out/join.
+    pub wall: Duration,
+}
+
+impl<R> PoolRun<R> {
+    /// Sum of worker busy time (≈ sequential cost of the same sweep).
+    pub fn busy_total(&self) -> Duration {
+        self.per_worker.iter().map(|t| t.busy).sum()
+    }
+}
+
+/// Evaluates every item with `eval` across `workers` threads and returns
+/// the results in input order.
+///
+/// `workers` is resolved via [`resolve_workers`] and clamped to the item
+/// count (with a floor of one). See the module docs for the determinism
+/// contract.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, eval: F) -> PoolRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_workers(workers).min(items.len()).max(1);
+    let t_wall = Instant::now();
+    let next = AtomicUsize::new(0);
+    let mut per_worker: Vec<WorkerLoad> = Vec::with_capacity(workers);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(items.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let next = &next;
+                let eval = &eval;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, eval(i, &items[i])));
+                    }
+                    (
+                        WorkerLoad {
+                            worker,
+                            items: local.len(),
+                            busy: t0.elapsed(),
+                        },
+                        local,
+                    )
+                })
+            })
+            .collect();
+        for h in handles {
+            let (load, local) = h.join().expect("pool worker panicked");
+            per_worker.push(load);
+            indexed.extend(local);
+        }
+    });
+    per_worker.sort_by_key(|t| t.worker);
+    indexed.sort_by_key(|(i, _)| *i);
+    PoolRun {
+        results: indexed.into_iter().map(|(_, r)| r).collect(),
+        workers,
+        per_worker,
+        wall: t_wall.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for workers in [1usize, 2, 3, 8, 64] {
+            let run = par_map(&items, workers, |i, &x| x * 2 + i as u64);
+            assert_eq!(run.results.len(), items.len());
+            for (i, r) in run.results.iter().enumerate() {
+                assert_eq!(*r, items[i] * 2 + i as u64, "workers={workers}");
+            }
+            assert_eq!(run.workers, workers.min(items.len()));
+            let claimed: usize = run.per_worker.iter().map(|t| t.items).sum();
+            assert_eq!(claimed, items.len());
+        }
+    }
+
+    #[test]
+    fn empty_input_uses_one_idle_worker() {
+        let run = par_map(&[] as &[u32], 8, |_, _| 0u32);
+        assert!(run.results.is_empty());
+        assert_eq!(run.workers, 1);
+    }
+
+    #[test]
+    fn zero_workers_means_all_cores() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+        let items = vec![1u32; 5];
+        let run = par_map(&items, 0, |_, &x| x);
+        assert_eq!(run.results, items);
+    }
+
+    #[test]
+    fn skewed_item_costs_still_reduce_in_order() {
+        // Early items are the most expensive: late claimers finish first,
+        // so unordered collection would interleave; the contract sorts it.
+        let items: Vec<u32> = (0..32).collect();
+        let run = par_map(&items, 8, |_, &x| {
+            let spins = (32 - x) as u64 * 1000;
+            let mut acc = 0u64;
+            for s in 0..spins {
+                acc = acc.wrapping_add(s ^ x as u64);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in run.results.iter().enumerate() {
+            assert_eq!(*x as usize, i);
+        }
+    }
+}

@@ -177,6 +177,22 @@ fn price_mode(
     }
 }
 
+/// Selects the winner among priced elastic options: minimum
+/// `expected_wall_ns`, with ties resolved to the *earliest* option in
+/// evaluation order (wait, then shrink-DP, then drop-replica) via a strict
+/// `<` reduction. The tie-break is part of the determinism contract: an
+/// equal-downtime shrink-DP vs drop-replica tie must resolve the same way
+/// on every run and at every plan-search worker count.
+pub fn choose_option(options: &[ElasticOption]) -> Option<ElasticOption> {
+    options.iter().copied().reduce(|a, b| {
+        if b.expected_wall_ns < a.expected_wall_ns {
+            b
+        } else {
+            a
+        }
+    })
+}
+
 /// Chooses the degraded mode with the minimum expected remaining wall.
 ///
 /// `full_step_ns` is the fault-free step latency of the running schedule;
@@ -218,18 +234,7 @@ pub fn plan_elastic(
             });
         }
     }
-    // Strict < keeps the earlier (simpler) option on ties.
-    let best = options
-        .iter()
-        .copied()
-        .reduce(|a, b| {
-            if b.expected_wall_ns < a.expected_wall_ns {
-                b
-            } else {
-                a
-            }
-        })
-        .expect("wait option always present");
+    let best = choose_option(&options).expect("wait option always present");
     let chosen = match best.mode {
         DegradedMode::WaitForRestart => None,
         mode => Some(DegradedPlan {
@@ -268,5 +273,48 @@ mod tests {
         // Repair already landed: reshard in, zero degraded steps, reshard
         // out, full-speed remainder.
         assert_eq!(wall, 10 + 10 + 4 * 100);
+    }
+
+    fn opt(mode: DegradedMode, wall: i64) -> ElasticOption {
+        ElasticOption {
+            mode,
+            effective_step_ns: 100,
+            expected_wall_ns: wall,
+        }
+    }
+
+    #[test]
+    fn equal_downtime_tie_resolves_to_earlier_option() {
+        // Exact shrink-DP vs drop-replica tie: shrink-DP is evaluated
+        // first, so it must win regardless of list construction details.
+        let options = vec![
+            opt(DegradedMode::WaitForRestart, 500),
+            opt(DegradedMode::ShrinkDp, 400),
+            opt(DegradedMode::DropPipelineReplica, 400),
+        ];
+        assert_eq!(
+            choose_option(&options).unwrap().mode,
+            DegradedMode::ShrinkDp
+        );
+        // A three-way tie collapses to waiting (the simplest mode).
+        let options = vec![
+            opt(DegradedMode::WaitForRestart, 400),
+            opt(DegradedMode::ShrinkDp, 400),
+            opt(DegradedMode::DropPipelineReplica, 400),
+        ];
+        assert_eq!(
+            choose_option(&options).unwrap().mode,
+            DegradedMode::WaitForRestart
+        );
+        // Strict improvement still wins.
+        let options = vec![
+            opt(DegradedMode::WaitForRestart, 400),
+            opt(DegradedMode::DropPipelineReplica, 399),
+        ];
+        assert_eq!(
+            choose_option(&options).unwrap().mode,
+            DegradedMode::DropPipelineReplica
+        );
+        assert!(choose_option(&[]).is_none());
     }
 }

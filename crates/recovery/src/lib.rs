@@ -40,7 +40,8 @@ pub use checkpoint::{
     PlacementPolicy,
 };
 pub use elastic::{
-    plan_elastic, reshard_time_ns, DegradedMode, DegradedPlan, ElasticDecision, ElasticOption,
+    choose_option, plan_elastic, reshard_time_ns, DegradedMode, DegradedPlan, ElasticDecision,
+    ElasticOption,
 };
 pub use error::RecoveryError;
 pub use failure::{Failure, FailureKind, FailureTrace, FailureTraceConfig};

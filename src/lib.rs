@@ -30,7 +30,11 @@
 //!   closed loop);
 //! * [`recovery`] — checkpoint/restart recovery: bubble-placed snapshot
 //!   writes, a deterministic failure-lifecycle simulator, elastic
-//!   degraded-mode planning, and goodput accounting.
+//!   degraded-mode planning, and goodput accounting;
+//! * [`chaos`] — adversarial search over the perturbation space (faults,
+//!   degradations, stragglers, microbatch skew), scoring plans by regret,
+//!   lint violations, and recovery-ledger exactness, with property-test
+//!   style shrinking into replayable regression fixtures.
 //!
 //! # Examples
 //!
@@ -52,6 +56,7 @@
 
 pub use optimus_baselines as baselines;
 pub use optimus_calibrate as calibrate;
+pub use optimus_chaos as chaos;
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
 pub use optimus_faults as faults;

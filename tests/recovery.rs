@@ -225,3 +225,28 @@ fn golden_recovery_timeline() {
         );
     }
 }
+
+#[test]
+fn elastic_decision_is_bit_identical_across_search_workers() {
+    // The elastic planner prices shrink-DP and drop-replica by re-running
+    // the Optimus plan search on the shrunken cluster; the chosen mode
+    // (including equal-downtime tie-breaks) must not depend on how many
+    // workers that search used.
+    let (run1, w, ctx, cfg1) = build(1);
+    let (run4, _, _, cfg4) = build(4);
+    assert_eq!(run1.outcome.latency, run4.outcome.latency);
+
+    let step = run1.outcome.latency;
+    let mut decisions = Vec::new();
+    for (run, cfg) in [(&run1, &cfg1), (&run4, &cfg4)] {
+        // A mid-length repair keeps several options competitive.
+        let decision =
+            plan_elastic(&w, cfg, &ctx, &run.memory, step, 12 * step, HORIZON).expect("elastic");
+        assert!(!decision.options.is_empty());
+        decisions.push(decision);
+    }
+    assert_eq!(
+        decisions[0], decisions[1],
+        "elastic decision differs across search_workers"
+    );
+}

@@ -1,0 +1,272 @@
+//! Property tests for the recovery engine's two foundational artifacts:
+//! failure traces (sortedness, validation, seed determinism, the
+//! fault-model bridge) and checkpoint plans (per-lane claim exclusivity,
+//! capacity bounds, spill conservation) across checkpoint intervals.
+//!
+//! Inputs are driven by the in-repo deterministic PRNG (`optimus-detrand`)
+//! so every run exercises the same cases bit-identically.
+
+use optimus::baselines::common::SystemContext;
+use optimus::cluster::{DurNs, LinkProfile, TimeNs};
+use optimus::core::{run_optimus, OptimusConfig, OptimusRun};
+use optimus::faults::{FaultModel, FaultScenario};
+use optimus::modeling::{MllmConfig, Workload};
+use optimus::parallel::ParallelPlan;
+use optimus::recovery::{
+    plan_checkpoints, CheckpointConfig, CheckpointPlan, Failure, FailureKind, FailureTrace,
+    FailureTraceConfig,
+};
+use optimus_detrand::{rngs::StdRng, RngExt, SeedableRng};
+
+fn context() -> SystemContext {
+    let ctx = SystemContext::hopper(8).expect("cluster");
+    ctx.with_topology(ctx.topo.with_storage(LinkProfile {
+        bandwidth: 80e9,
+        latency: 100e-6,
+    }))
+}
+
+fn build() -> (OptimusRun, SystemContext, OptimusConfig) {
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let ctx = context();
+    let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).expect("plan"));
+    let run = run_optimus(&w, &cfg, &ctx).expect("optimus");
+    (run, ctx, cfg)
+}
+
+fn sample_failures() -> Vec<Failure> {
+    vec![
+        Failure {
+            at: TimeNs(900),
+            device: 3,
+            kind: FailureKind::Transient { restart: DurNs(50) },
+        },
+        Failure {
+            at: TimeNs(100),
+            device: 7,
+            kind: FailureKind::Permanent { repair: DurNs(800) },
+        },
+        Failure {
+            at: TimeNs(900),
+            device: 1,
+            kind: FailureKind::Transient { restart: DurNs(60) },
+        },
+        Failure {
+            at: TimeNs(400),
+            device: 0,
+            kind: FailureKind::Transient { restart: DurNs(70) },
+        },
+    ]
+}
+
+#[test]
+fn failure_trace_sorts_every_permutation_identically() {
+    let reference = FailureTrace::new(sample_failures()).expect("trace");
+    // The sort key is (time, device): ties on time break by device.
+    let ats: Vec<(u64, u32)> = reference
+        .failures()
+        .iter()
+        .map(|f| (f.at.0, f.device))
+        .collect();
+    assert_eq!(ats, vec![(100, 7), (400, 0), (900, 1), (900, 3)]);
+
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..50 {
+        let mut shuffled = sample_failures();
+        // Fisher–Yates with the deterministic PRNG.
+        for i in (1..shuffled.len()).rev() {
+            let j = rng.random_range(0..=i);
+            shuffled.swap(i, j);
+        }
+        let trace = FailureTrace::new(shuffled).expect("trace");
+        assert_eq!(trace.failures(), reference.failures());
+    }
+}
+
+#[test]
+fn failure_trace_rejects_zero_delays() {
+    for kind in [
+        FailureKind::Transient { restart: DurNs(0) },
+        FailureKind::Permanent { repair: DurNs(0) },
+    ] {
+        let bad = Failure {
+            at: TimeNs(5),
+            device: 0,
+            kind,
+        };
+        assert!(FailureTrace::new(vec![bad]).is_err());
+    }
+}
+
+#[test]
+fn generated_traces_are_seed_deterministic() {
+    let cfg = |seed: u64| FailureTraceConfig {
+        seed,
+        horizon_ns: 10_000_000_000,
+        mtbf_ns: 500_000_000,
+        num_devices: 8,
+        restart: DurNs::from_millis(50),
+        repair: DurNs::from_millis(800),
+        permanent_every: 3,
+    };
+    let a = FailureTrace::generate(&cfg(42)).expect("trace");
+    let b = FailureTrace::generate(&cfg(42)).expect("trace");
+    assert_eq!(a.failures(), b.failures());
+    assert!(
+        !a.is_empty(),
+        "10s horizon at 0.5s MTBF must produce events"
+    );
+
+    let c = FailureTrace::generate(&cfg(43)).expect("trace");
+    assert_ne!(
+        a.failures(),
+        c.failures(),
+        "different seeds must draw different traces"
+    );
+
+    // Sorted by construction, and every 3rd failure is permanent.
+    for pair in a.failures().windows(2) {
+        assert!(pair[0].at.0 <= pair[1].at.0);
+    }
+    for (i, f) in a.failures().iter().enumerate() {
+        let permanent = matches!(f.kind, FailureKind::Permanent { .. });
+        assert_eq!(permanent, (i as u32 + 1).is_multiple_of(3), "failure {i}");
+    }
+}
+
+#[test]
+fn from_model_bridge_matches_hand_built_trace() {
+    let model = FaultModel::new(9)
+        .with(FaultScenario::StragglerDevice {
+            device: 2,
+            slowdown: 1.5,
+        })
+        .and_then(|m| {
+            m.with(FaultScenario::FailStop {
+                device: 4,
+                at: TimeNs(700),
+                restart: DurNs(50),
+            })
+        })
+        .and_then(|m| m.with(FaultScenario::KernelJitter { eps: 0.2 }))
+        .and_then(|m| {
+            m.with(FaultScenario::DeviceLoss {
+                device: 6,
+                at: TimeNs(300),
+                repair: DurNs(900),
+            })
+        })
+        .expect("model");
+
+    let bridged = FailureTrace::from_model(&model);
+    // Degradation scenarios contribute nothing; fail-stop events arrive
+    // sorted, exactly as the explicit constructor would order them.
+    let explicit = FailureTrace::new(vec![
+        Failure {
+            at: TimeNs(700),
+            device: 4,
+            kind: FailureKind::Transient { restart: DurNs(50) },
+        },
+        Failure {
+            at: TimeNs(300),
+            device: 6,
+            kind: FailureKind::Permanent { repair: DurNs(900) },
+        },
+    ])
+    .expect("trace");
+    assert_eq!(bridged.failures(), explicit.failures());
+    assert_eq!(bridged.len(), 2);
+}
+
+/// Checkpoint claims on one device, deduplicated across colocation lanes
+/// (the planner claims each span on every lane because a shard write
+/// occupies the device outright).
+fn unique_ckpt_spans(plan: &CheckpointPlan, device: u32) -> Vec<(i64, i64)> {
+    let mut spans: Vec<(i64, i64)> = plan
+        .claims
+        .iter()
+        .filter(|c| c.device == device && c.lane == 0)
+        .map(|c| (c.start, c.end))
+        .collect();
+    spans.sort_unstable();
+    spans
+}
+
+#[test]
+fn checkpoint_claims_are_exclusive_and_verified_across_intervals() {
+    let (run, ctx, cfg) = build();
+    for k in [1u32, 2, 4, 8] {
+        let plan = plan_checkpoints(&run, cfg.llm_plan, &ctx.topo, &CheckpointConfig::bubble(k))
+            .expect("plan");
+        // The combined encoder + checkpoint claims pass OPT005/OPT007.
+        plan.verify(8).expect("verified placement");
+
+        // No two checkpoint spans on the same (device, lane) overlap.
+        for d in 0..plan.num_ranks {
+            let spans = unique_ckpt_spans(&plan, d);
+            for pair in spans.windows(2) {
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "interval {k}: device {d} spans {pair:?} overlap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spill_accounting_conserves_the_shard_write() {
+    let (run, ctx, cfg) = build();
+    let mut last_spill = i64::MAX;
+    for k in [1u32, 2, 4, 8] {
+        let plan = plan_checkpoints(&run, cfg.llm_plan, &ctx.topo, &CheckpointConfig::bubble(k))
+            .expect("plan");
+        assert_eq!(plan.bubble_capacity_ns.len(), plan.num_ranks as usize);
+        let goal = (plan.write_ns + k as i64 - 1) / k as i64;
+
+        let mut max_unhidden = 0i64;
+        for d in 0..plan.num_ranks {
+            let cap = plan.bubble_capacity_ns[d as usize];
+            let claimed: i64 = unique_ckpt_spans(&plan, d).iter().map(|(s, e)| e - s).sum();
+            // Capacity bound: a device never claims more than its free
+            // bubbles, nor more than its per-step share of the write.
+            assert!(
+                claimed <= cap,
+                "interval {k}: device {d} claimed {claimed} > cap {cap}"
+            );
+            assert!(
+                claimed <= goal,
+                "interval {k}: device {d} claimed {claimed} > goal {goal}"
+            );
+            // Conservation: hidden work over the interval plus the spill
+            // covers the full shard write on every device.
+            assert!(
+                k as i64 * claimed + plan.spill_ns >= plan.write_ns,
+                "interval {k}: device {d} loses bytes ({claimed} claimed, \
+                 spill {}, write {})",
+                plan.spill_ns,
+                plan.write_ns
+            );
+            max_unhidden = max_unhidden.max((plan.write_ns - k as i64 * cap).max(0));
+        }
+        // The spill is exactly the slowest device's unhidden remainder.
+        assert_eq!(plan.spill_ns, max_unhidden, "interval {k}");
+
+        // Wall-clock formulas stay consistent with the parts.
+        assert_eq!(
+            plan.interval_wall_ns(),
+            k as i64 * plan.step_ns + plan.spill_ns
+        );
+        assert_eq!(
+            plan.fault_free_wall_ns(8),
+            8 * plan.step_ns + (8 / k) as i64 * plan.spill_ns
+        );
+        let hidden = plan.hidden_fraction();
+        assert!((0.0..=1.0).contains(&hidden), "interval {k}: {hidden}");
+
+        // Longer intervals amortize the write over more bubbles: the spill
+        // can only shrink.
+        assert!(plan.spill_ns <= last_spill, "interval {k}");
+        last_spill = plan.spill_ns;
+    }
+}
