@@ -1,0 +1,42 @@
+//! Multi-tenant bubble-fill study.
+//!
+//! Pass `--smoke` for the CI gate; smoke mode asserts the closed loop:
+//!
+//! * the planner actually schedules fill compute into the step's bubbles,
+//! * the primary step stretches by at most the configured slack budget,
+//! * cluster goodput strictly beats the naive run-after-training baseline
+//!   (the same fill work appended serially after the step), and
+//! * the priced report is bit-identical when the primary plan search runs
+//!   with 4 workers instead of 1.
+
+use optimus_bench::experiments::fill;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (report, study) = fill::run(smoke);
+    println!("{report}");
+    if smoke {
+        assert!(
+            study.plan.fill_compute_ns() > 0,
+            "no fill compute landed in the bubbles"
+        );
+        assert!(
+            study.plan.stretch_ns <= study.plan.slack_budget_ns,
+            "fill stretched the step {} ns past the {} ns slack budget",
+            study.plan.stretch_ns,
+            study.plan.slack_budget_ns
+        );
+        assert!(
+            study.report.beats_naive(),
+            "bubble fill must beat the run-after-training baseline: {:.6} vs {:.6}",
+            study.report.cluster_goodput(),
+            study.report.naive_goodput()
+        );
+        assert_eq!(
+            study.report.golden_text(),
+            study.parallel_golden,
+            "fill pricing diverged across search worker counts"
+        );
+        eprintln!("smoke assertions passed");
+    }
+}

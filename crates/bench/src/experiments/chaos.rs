@@ -61,14 +61,18 @@ fn curated(baseline_ns: i64) -> Vec<(&'static str, &'static str, ChaosPredicate,
         (
             "straggler-escapes-bubbles",
             "A straggler device stretches relocated encoder kernels past \
-             their proven-idle bubbles (OPT005).",
+             their proven-idle bubbles (OPT005). The reference harness \
+             plans with a 2% bubble-slack margin, so the shrunk \
+             counterexample sits just past it.",
             ChaosPredicate::LintErrors,
             straggler,
         ),
         (
             "jitter-escapes-bubbles",
             "Cluster-wide kernel jitter stretches bubble inserts out of \
-             their claimed windows (OPT005).",
+             their claimed windows (OPT005). The reference harness plans \
+             with a 2% bubble-slack margin, so the shrunk counterexample \
+             sits just past it.",
             ChaosPredicate::LintErrors,
             jitter,
         ),

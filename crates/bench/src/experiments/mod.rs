@@ -12,6 +12,7 @@ pub mod fig15;
 pub mod fig16;
 pub mod fig17;
 pub mod fig3;
+pub mod fill;
 pub mod lint_sweep;
 pub mod planner_scaling;
 pub mod recovery;

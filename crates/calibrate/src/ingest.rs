@@ -331,6 +331,7 @@ pub fn stream_name(tid: u32) -> &'static str {
         4 => "enc_p2p",
         5 => "annot",
         6 => "recovery",
+        7 => "fill",
         _ => "other",
     }
 }

@@ -55,7 +55,7 @@ pub mod shrink;
 
 pub use error::ChaosError;
 pub use fixture::ChaosFixture;
-pub use harness::{ChaosHarness, ChaosSettings};
+pub use harness::{ChaosHarness, ChaosSettings, REFERENCE_BUBBLE_SLACK};
 pub use perturbation::{DegradedClass, FailureSpec, Perturbation};
 pub use score::{
     ledger_violations, lint_violations, perturbed_insert_set, ChaosPredicate, ChaosScore,

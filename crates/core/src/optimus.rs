@@ -35,6 +35,13 @@ pub struct OptimusConfig {
     /// Fraction of every interior bubble reserved against kernel-runtime
     /// jitter (§6 mitigation; see [`crate::robustness`]).
     pub bubble_margin: f64,
+    /// Per-claim slack margin on bubble-insert claims: each placed kernel
+    /// reserves headroom for a `(1 + bubble_slack)×` runtime stretch, so a
+    /// straggler or jitter up to that factor cannot escape its proven-idle
+    /// interval (OPT005). `0.0` (the default) keeps the historical exact
+    /// packing bit-identically; unlike `bubble_margin`, the reservation
+    /// scales per kernel instead of shrinking whole intervals.
+    pub bubble_slack: f64,
     /// LLM pipeline schedule to build the bubble profile from — Optimus is
     /// schedule-orthogonal (§6).
     pub llm_schedule: crate::profile::LlmScheduleKind,
@@ -60,6 +67,7 @@ impl OptimusConfig {
             adjust_dep_points: true,
             frozen_encoder: false,
             bubble_margin: 0.0,
+            bubble_slack: 0.0,
             llm_schedule: crate::profile::LlmScheduleKind::default(),
             mb_scales: None,
             search_workers: 0,
@@ -146,8 +154,9 @@ pub fn run_optimus(
             let Ok(work) = built else {
                 return Ok(CandidateVerdict::BuildFailed);
             };
-            let mut scheduler =
-                BubbleScheduler::new(&profile, &work, &cand.layout)?.with_margin(cfg.bubble_margin);
+            let mut scheduler = BubbleScheduler::new(&profile, &work, &cand.layout)?
+                .with_margin(cfg.bubble_margin)
+                .with_slack(cfg.bubble_slack);
             if let Some(sc) = &cfg.mb_scales {
                 scheduler = scheduler.with_scales(sc.clone())?;
             }
@@ -179,8 +188,9 @@ pub fn run_optimus(
         };
         let layout = optimus_parallel::ColocationLayout::new(cfg.llm_plan, enc_plan)
             .map_err(|e| OptimusError::Setup(e.to_string()))?;
-        let mut sched =
-            BubbleScheduler::new(&profile, &work, &layout)?.with_margin(cfg.bubble_margin);
+        let mut sched = BubbleScheduler::new(&profile, &work, &layout)?
+            .with_margin(cfg.bubble_margin)
+            .with_slack(cfg.bubble_slack);
         if let Some(sc) = &cfg.mb_scales {
             sched = sched.with_scales(sc.clone())?;
         }

@@ -149,28 +149,37 @@ struct Track {
     /// First interval that may still have room (all earlier ones end at or
     /// before the floor). Valid because the floor is monotone.
     hint: usize,
+    /// Per-kernel slack reservation (see [`BubbleScheduler::with_slack`]):
+    /// each placement additionally reserves `ceil(slack · dur)` after the
+    /// kernel, inside the same interval, without claiming it.
+    slack: f64,
 }
 
 impl Track {
-    fn new(intervals: Vec<FreeInterval>) -> Track {
+    fn new(intervals: Vec<FreeInterval>, slack: f64) -> Track {
         Track {
             intervals,
             floor: Ts::MIN / 4,
             hint: 0,
+            slack,
         }
     }
 
     /// Places a kernel of `dur` no earlier than `earliest`; returns
-    /// (start, anchor) or `None` when no interval fits.
+    /// (start, anchor) or `None` when no interval fits. With a non-zero
+    /// slack, `dur + ceil(slack · dur)` must fit but only `dur` is claimed:
+    /// the kernel may run up to `(1 + slack)×` long before escaping its
+    /// interval or touching the next placement.
     fn place(&mut self, earliest: Ts, dur: Ts) -> Option<(Ts, u32)> {
+        let pad = (self.slack * dur as f64).ceil() as Ts;
         let t = earliest.max(self.floor);
         while self.hint < self.intervals.len() && self.intervals[self.hint].end <= self.floor {
             self.hint += 1;
         }
         for iv in &self.intervals[self.hint..] {
             let pos = t.max(iv.start);
-            if pos + dur <= iv.end {
-                self.floor = pos + dur;
+            if pos + dur + pad <= iv.end {
+                self.floor = pos + dur + pad;
                 return Some((pos, iv.anchor));
             }
         }
@@ -207,6 +216,10 @@ pub struct BubbleScheduler<'a> {
     /// Fraction of every interior bubble reserved as safety margin against
     /// kernel-runtime jitter (§6 mitigation); `0.0` uses bubbles fully.
     pub margin: f64,
+    /// Per-claim slack: every bubble-insert claim keeps headroom for a
+    /// `(1 + slack)×` runtime stretch before escaping its proven-idle
+    /// interval or colliding with a neighbour; `0.0` packs exactly.
+    pub slack: f64,
     /// Per-microbatch encoder load scales (heterogeneous data: variable
     /// images per sample). `None` means uniform load. Length must equal the
     /// number of microbatches; microbatches are assigned to pipelines
@@ -236,6 +249,7 @@ impl<'a> BubbleScheduler<'a> {
             work,
             layout,
             margin: 0.0,
+            slack: 0.0,
             mb_scales: None,
         })
     }
@@ -285,6 +299,16 @@ impl<'a> BubbleScheduler<'a> {
         self
     }
 
+    /// Sets the per-claim slack (clamped to `[0, 0.9]`): every insert claim
+    /// keeps room for a `(1 + slack)×` runtime stretch. Unlike `margin`
+    /// (which shrinks whole intervals up front), slack scales with each
+    /// placed kernel, so small kernels pay small reservations. `0.0` keeps
+    /// the historical exact packing bit-identically.
+    pub fn with_slack(mut self, slack: f64) -> BubbleScheduler<'a> {
+        self.slack = slack.clamp(0.0, 0.9);
+        self
+    }
+
     /// Interior-bubble track for `(pipeline, stage)`, with the margin
     /// applied (each interval keeps `1 − margin` of its length).
     fn interior_track(&self, j: u32, k: u32) -> Track {
@@ -298,7 +322,7 @@ impl<'a> BubbleScheduler<'a> {
             }
             ivs.retain(|iv| !iv.is_empty());
         }
-        Track::new(ivs)
+        Track::new(ivs, self.slack)
     }
 
     fn window_track(&self, j: u32, k: u32) -> Track {
@@ -306,6 +330,7 @@ impl<'a> BubbleScheduler<'a> {
             self.profile.devices[self.host(j, k) as usize]
                 .comm_windows
                 .clone(),
+            self.slack,
         )
     }
 
@@ -356,11 +381,14 @@ impl<'a> BubbleScheduler<'a> {
                 end[k][i] = start + Self::scaled(tf[k], self.scale(partition, j, i as u32));
             }
         }
-        // Shift so that every stage finishes inside its leading bubble.
+        // Shift so that every stage finishes inside its leading bubble —
+        // with slack, early enough that the whole coarse block may stretch
+        // `(1 + slack)×` and still finish by the deadline.
         let mut shift = Ts::MIN / 4;
         for k in 0..k_n {
             let deadline = self.profile.devices[self.host(j, k as u32) as usize].leading_end;
-            shift = shift.max(end[k][n - 1] - deadline);
+            let pad = (self.slack * (end[k][n - 1] - first_start[k]) as f64).ceil() as Ts;
+            shift = shift.max(end[k][n - 1] + pad - deadline);
         }
         // The encoder's DP parameter all-gather runs from iteration start
         // (−prefix) and must finish before each stage's first kernel:

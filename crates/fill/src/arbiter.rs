@@ -1,0 +1,441 @@
+//! The shared bubble-claim arbiter.
+//!
+//! One step of the schedule offers, per device, a set of proven-idle
+//! compute-bubble chunks (OPT005 idle intervals, clipped to the step,
+//! minus every span already claimed for relocated encoder work or passed
+//! in as extra claims — e.g. checkpoint shard writes). The arbiter carves
+//! those chunks once and then hands out non-overlapping sub-spans to any
+//! number of consumers, in strict time order per chunk:
+//!
+//! * [`take`](BubbleArbiter::take) — *divisible* consumption (storage
+//!   traffic): fills chunks front-to-back up to a budget, splitting freely;
+//! * [`take_atomic`](BubbleArbiter::take_atomic) — *atomic* consumption
+//!   (a preemptible compute chunk): the whole duration must fit inside a
+//!   single remaining chunk, so consumers are preempted only at bubble
+//!   boundaries, never mid-bubble.
+//!
+//! Consumption is tracked per chunk (not with a single forward cursor), so
+//! an atomic request that skips a too-small chunk does not forfeit that
+//! chunk's remainder for later divisible requests. The arbiter is `Clone`:
+//! planners build trial placements on a clone and commit by replacement.
+
+use optimus_core::{idle_intervals, schedule_insert_set, OptimusRun};
+use optimus_lint::{InsertClaim, InsertSet};
+use optimus_parallel::{ColocationLayout, ParallelPlan};
+
+use crate::error::FillError;
+
+/// A span handed out by the arbiter: which carved chunk it came from and
+/// the half-open `[start, end)` it occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TakenSpan {
+    /// Index of the carved free chunk on the device (stable across takes:
+    /// the enumeration order of the device's free-chunk list).
+    pub chunk: usize,
+    /// Span start, ns.
+    pub start: i64,
+    /// Span end (exclusive), ns.
+    pub end: i64,
+}
+
+impl TakenSpan {
+    /// Span duration, ns.
+    pub fn dur(&self) -> i64 {
+        self.end - self.start
+    }
+}
+
+/// Subtracts sorted, merged `busy` spans from `iv`, returning the remaining
+/// free sub-intervals in time order.
+fn subtract_busy(iv: (i64, i64), busy: &[(i64, i64)]) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    let (mut cur, end) = iv;
+    for &(bs, be) in busy {
+        if be <= cur {
+            continue;
+        }
+        if bs >= end {
+            break;
+        }
+        if bs > cur {
+            out.push((cur, bs.min(end)));
+        }
+        cur = cur.max(be);
+        if cur >= end {
+            break;
+        }
+    }
+    if cur < end {
+        out.push((cur, end));
+    }
+    out
+}
+
+/// Merges sorted spans, coalescing overlaps.
+fn merge_spans(mut spans: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
+    spans.sort_unstable();
+    let mut out: Vec<(i64, i64)> = Vec::with_capacity(spans.len());
+    for (s, e) in spans {
+        if e <= s {
+            continue;
+        }
+        match out.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Arbitrates one step's proven-idle bubble capacity between consumers
+/// (checkpoint shard writes, fill jobs) so their claims can never overlap.
+#[derive(Debug, Clone)]
+pub struct BubbleArbiter {
+    /// Carved free chunks per device, immutable after construction (plus
+    /// any [`extend_tail`](BubbleArbiter::extend_tail) appendix).
+    free: Vec<Vec<(i64, i64)>>,
+    /// Consumption position per chunk: `pos[d][i]` is the next free instant
+    /// inside `free[d][i]`; the chunk is exhausted when it reaches the end.
+    pos: Vec<Vec<i64>>,
+    /// Cached total remaining capacity per device, ns.
+    remaining: Vec<i64>,
+    /// Capacity per device at construction (before any take or tail
+    /// extension), ns.
+    initial: Vec<i64>,
+    /// The schedule's own insert set (encoder claims + idle intervals).
+    base: InsertSet,
+    /// Colocation lanes of the layout the schedule was built under.
+    lanes: u32,
+    /// Step makespan, ns.
+    makespan: i64,
+    /// Per device: the end of its last busy-or-claimed span (at least the
+    /// makespan) — where a tail extension would begin.
+    device_tail: Vec<i64>,
+}
+
+impl BubbleArbiter {
+    /// Carves the free bubble capacity of one Optimus run.
+    ///
+    /// The free capacity a device offers per step is its proven-idle
+    /// compute bubbles (clipped to the step `[0, makespan)`) minus every
+    /// span the schedule already claims there for relocated encoder work —
+    /// on *any* lane, because arbitrated work occupies the device's
+    /// copy/compute engine outright — minus every `extra` claim on the
+    /// device (e.g. checkpoint shard writes placed by an earlier consumer).
+    pub fn new(
+        run: &OptimusRun,
+        llm_plan: ParallelPlan,
+        extra: &[InsertClaim],
+    ) -> Result<BubbleArbiter, FillError> {
+        let layout = ColocationLayout::new(llm_plan, run.enc_plan)
+            .map_err(|e| FillError::Plan(e.to_string()))?;
+        let base = schedule_insert_set(&run.outcome, &run.profile, &layout);
+        let num_devices = run.profile.devices.len();
+        let makespan = run.profile.makespan;
+
+        let intervals = idle_intervals(&run.profile);
+        let mut free: Vec<Vec<(i64, i64)>> = vec![Vec::new(); num_devices];
+        let mut device_tail = vec![makespan; num_devices];
+        for d in 0..num_devices as u32 {
+            let busy = merge_spans(
+                base.claims
+                    .iter()
+                    .filter(|c| c.device == d && !c.comm)
+                    .map(|c| (c.start, c.end))
+                    .chain(
+                        extra
+                            .iter()
+                            .filter(|c| c.device == d)
+                            .map(|c| (c.start, c.end)),
+                    )
+                    .collect(),
+            );
+            for iv in &intervals {
+                if iv.device != d || iv.comm {
+                    continue;
+                }
+                let clipped = (iv.start.max(0), iv.end.min(makespan));
+                if clipped.1 <= clipped.0 {
+                    continue;
+                }
+                free[d as usize].extend(subtract_busy(clipped, &busy));
+            }
+            free[d as usize].sort_unstable();
+            let claim_tail = base
+                .claims
+                .iter()
+                .filter(|c| c.device == d)
+                .chain(extra.iter().filter(|c| c.device == d))
+                .map(|c| c.end)
+                .max()
+                .unwrap_or(makespan);
+            device_tail[d as usize] = makespan.max(claim_tail);
+        }
+        let initial: Vec<i64> = free
+            .iter()
+            .map(|chunks| chunks.iter().map(|&(s, e)| e - s).sum())
+            .collect();
+        let pos: Vec<Vec<i64>> = free
+            .iter()
+            .map(|chunks| chunks.iter().map(|&(s, _)| s).collect())
+            .collect();
+        Ok(BubbleArbiter {
+            remaining: initial.clone(),
+            initial,
+            free,
+            pos,
+            base,
+            lanes: layout.lanes,
+            makespan,
+            device_tail,
+        })
+    }
+
+    /// Number of devices in the schedule.
+    pub fn devices(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Colocation lanes of the underlying layout.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Step makespan, ns.
+    pub fn makespan(&self) -> i64 {
+        self.makespan
+    }
+
+    /// The schedule's own insert set (encoder claims + idle intervals).
+    pub fn base(&self) -> &InsertSet {
+        &self.base
+    }
+
+    /// Remaining free capacity on `device`, ns.
+    pub fn remaining(&self, device: u32) -> i64 {
+        self.remaining[device as usize]
+    }
+
+    /// Free capacity `device` offered at construction, ns (before any take
+    /// or tail extension).
+    pub fn initial_capacity(&self, device: u32) -> i64 {
+        self.initial[device as usize]
+    }
+
+    /// All construction-time capacities, ns, indexed by device.
+    pub fn initial_capacities(&self) -> &[i64] {
+        &self.initial
+    }
+
+    /// Where a tail extension on `device` would begin, ns.
+    pub fn device_tail(&self, device: u32) -> i64 {
+        self.device_tail[device as usize]
+    }
+
+    /// Appends one synthetic free chunk of `budget_ns` after each device's
+    /// tail. The appendix sits inside the schedule's open trailing idle
+    /// interval, so claims placed there still satisfy OPT005 containment;
+    /// consuming it stretches the step past the makespan — the caller
+    /// prices that stretch against its slack budget.
+    pub fn extend_tail(&mut self, budget_ns: i64) {
+        if budget_ns <= 0 {
+            return;
+        }
+        for d in 0..self.free.len() {
+            let start = self.device_tail[d];
+            let end = start + budget_ns;
+            self.free[d].push((start, end));
+            self.pos[d].push(start);
+            self.remaining[d] += budget_ns;
+            self.device_tail[d] = end;
+        }
+    }
+
+    /// Divisible take: consumes up to `budget` ns on `device`, filling
+    /// chunks front-to-back and splitting freely. Returns the claimed
+    /// spans in time order; their durations sum to `min(budget,
+    /// remaining)`.
+    pub fn take(&mut self, device: u32, budget: i64) -> Vec<TakenSpan> {
+        let d = device as usize;
+        let mut budget = budget.max(0);
+        let mut out = Vec::new();
+        for i in 0..self.free[d].len() {
+            if budget <= 0 {
+                break;
+            }
+            let (_, e) = self.free[d][i];
+            let p = self.pos[d][i];
+            let avail = e - p;
+            if avail <= 0 {
+                continue;
+            }
+            let take = budget.min(avail);
+            out.push(TakenSpan {
+                chunk: i,
+                start: p,
+                end: p + take,
+            });
+            self.pos[d][i] = p + take;
+            self.remaining[d] -= take;
+            budget -= take;
+        }
+        out
+    }
+
+    /// Atomic take: claims one contiguous span of exactly `dur` ns inside
+    /// the first chunk on `device` that still has room for it, or `None`
+    /// if no single chunk can hold it. Never splits across chunks — this
+    /// is what restricts preemption to bubble boundaries.
+    pub fn take_atomic(&mut self, device: u32, dur: i64) -> Option<TakenSpan> {
+        if dur <= 0 {
+            return None;
+        }
+        let d = device as usize;
+        for i in 0..self.free[d].len() {
+            let (_, e) = self.free[d][i];
+            let p = self.pos[d][i];
+            if e - p >= dur {
+                self.pos[d][i] = p + dur;
+                self.remaining[d] -= dur;
+                return Some(TakenSpan {
+                    chunk: i,
+                    start: p,
+                    end: p + dur,
+                });
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subtract_busy_carves_holes() {
+        assert_eq!(subtract_busy((0, 100), &[]), vec![(0, 100)]);
+        assert_eq!(
+            subtract_busy((0, 100), &[(20, 30), (50, 60)]),
+            vec![(0, 20), (30, 50), (60, 100)]
+        );
+        assert_eq!(subtract_busy((0, 100), &[(0, 100)]), vec![]);
+        assert_eq!(subtract_busy((10, 20), &[(0, 15)]), vec![(15, 20)]);
+        assert_eq!(subtract_busy((10, 20), &[(15, 40)]), vec![(10, 15)]);
+    }
+
+    #[test]
+    fn merge_spans_coalesces() {
+        assert_eq!(
+            merge_spans(vec![(5, 10), (0, 6), (20, 25), (25, 30)]),
+            vec![(0, 10), (20, 30)]
+        );
+        assert_eq!(merge_spans(vec![(3, 3), (1, 2)]), vec![(1, 2)]);
+    }
+
+    /// A hand-built arbiter over synthetic chunks (bypassing the schedule)
+    /// for unit-testing the take semantics.
+    fn synthetic(chunks: Vec<(i64, i64)>) -> BubbleArbiter {
+        let initial: Vec<i64> = vec![chunks.iter().map(|&(s, e)| e - s).sum()];
+        BubbleArbiter {
+            pos: vec![chunks.iter().map(|&(s, _)| s).collect()],
+            remaining: initial.clone(),
+            initial,
+            free: vec![chunks],
+            base: InsertSet {
+                intervals: Vec::new(),
+                claims: Vec::new(),
+            },
+            lanes: 1,
+            makespan: 100,
+            device_tail: vec![100],
+        }
+    }
+
+    #[test]
+    fn divisible_take_fills_front_to_back() {
+        let mut a = synthetic(vec![(0, 10), (20, 25), (40, 60)]);
+        assert_eq!(a.remaining(0), 35);
+        let spans = a.take(0, 12);
+        assert_eq!(
+            spans,
+            vec![
+                TakenSpan {
+                    chunk: 0,
+                    start: 0,
+                    end: 10
+                },
+                TakenSpan {
+                    chunk: 1,
+                    start: 20,
+                    end: 22
+                },
+            ]
+        );
+        assert_eq!(a.remaining(0), 23);
+        // A second take resumes exactly where the first stopped.
+        let more = a.take(0, 100);
+        assert_eq!(
+            more,
+            vec![
+                TakenSpan {
+                    chunk: 1,
+                    start: 22,
+                    end: 25
+                },
+                TakenSpan {
+                    chunk: 2,
+                    start: 40,
+                    end: 60
+                },
+            ]
+        );
+        assert_eq!(a.remaining(0), 0);
+    }
+
+    #[test]
+    fn atomic_take_skips_small_chunks_without_forfeiting_them() {
+        let mut a = synthetic(vec![(0, 10), (20, 50)]);
+        // 15 ns does not fit chunk 0; it lands in chunk 1.
+        let s = a.take_atomic(0, 15).expect("fits chunk 1");
+        assert_eq!(
+            s,
+            TakenSpan {
+                chunk: 1,
+                start: 20,
+                end: 35
+            }
+        );
+        // Chunk 0's remainder is still available to a divisible take.
+        let spans = a.take(0, 10);
+        assert_eq!(
+            spans,
+            vec![TakenSpan {
+                chunk: 0,
+                start: 0,
+                end: 10
+            }]
+        );
+        // Nothing fits 20 ns any more (chunk 1 has 15 left).
+        assert!(a.take_atomic(0, 20).is_none());
+        assert_eq!(a.remaining(0), 15);
+    }
+
+    #[test]
+    fn tail_extension_appends_one_chunk_past_the_tail() {
+        let mut a = synthetic(vec![(0, 10)]);
+        a.extend_tail(40);
+        assert_eq!(a.remaining(0), 50);
+        assert_eq!(a.device_tail(0), 140);
+        assert_eq!(a.initial_capacity(0), 10, "initial excludes the appendix");
+        let s = a.take_atomic(0, 30).expect("fits the appendix");
+        assert_eq!(
+            s,
+            TakenSpan {
+                chunk: 1,
+                start: 100,
+                end: 130
+            }
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Typed errors for the bubble-fill planner.
+
+use std::fmt;
+
+/// Everything that can go wrong planning a bubble-fill placement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FillError {
+    /// Invalid configuration or job spec (zero chunks, negative slack, …).
+    Invalid(String),
+    /// The colocation layout or underlying schedule was unusable.
+    Plan(String),
+    /// The combined claims (primary inserts + checkpoint shards + fill)
+    /// failed static analysis — the placement itself is unsound.
+    Lint(Vec<String>),
+}
+
+impl fmt::Display for FillError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FillError::Invalid(msg) => write!(f, "invalid fill config: {msg}"),
+            FillError::Plan(msg) => write!(f, "fill planning failed: {msg}"),
+            FillError::Lint(diags) => {
+                write!(f, "fill placement failed lint: {}", diags.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for FillError {}

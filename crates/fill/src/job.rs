@@ -1,0 +1,155 @@
+//! The fill-job model: what a tenant submits to the bubble-fill planner.
+
+use optimus_cluster::LinkProfile;
+
+use crate::error::FillError;
+
+/// Priority class of a fill job. Lower [`rank`](PriorityClass::rank) is
+/// served first; within a class, submission order breaks ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PriorityClass {
+    /// Evaluation runs of the model being trained (highest fill priority —
+    /// their results gate the training job itself).
+    Eval,
+    /// Data preprocessing / ETL feeding upcoming epochs.
+    Preprocess,
+    /// Best-effort tenant work: anything goes, last in line.
+    BestEffort,
+}
+
+impl PriorityClass {
+    /// Every class, in service order.
+    pub const ALL: [PriorityClass; 3] = [
+        PriorityClass::Eval,
+        PriorityClass::Preprocess,
+        PriorityClass::BestEffort,
+    ];
+
+    /// Service rank: lower is served first.
+    pub fn rank(&self) -> u8 {
+        match self {
+            PriorityClass::Eval => 0,
+            PriorityClass::Preprocess => 1,
+            PriorityClass::BestEffort => 2,
+        }
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PriorityClass::Eval => "eval",
+            PriorityClass::Preprocess => "preprocess",
+            PriorityClass::BestEffort => "best-effort",
+        }
+    }
+}
+
+/// An independent job submitted for bubble-fill execution.
+///
+/// A job divides into `chunks` preemptible chunks of `chunk_ns` compute
+/// each; the planner may run any prefix of them inside one step's bubbles
+/// and evict the rest. Its working state (`state_bytes`) is loaded over the
+/// cluster's `Storage` link before the first chunk and written back on
+/// eviction; its resident footprint (`memory_bytes`) must fit the host
+/// device's free HBM for the whole occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FillJob {
+    /// Human-readable job name (unique per submission batch).
+    pub name: String,
+    /// Priority class; see [`PriorityClass::rank`].
+    pub priority: PriorityClass,
+    /// Compute cost of one preemptible chunk, ns (`> 0`).
+    pub chunk_ns: i64,
+    /// Number of chunks submitted (`> 0`).
+    pub chunks: u32,
+    /// Resident HBM footprint while the job occupies a device, bytes.
+    pub memory_bytes: u64,
+    /// Working state moved over the storage link on load and evict, bytes.
+    pub state_bytes: u64,
+}
+
+impl FillJob {
+    /// Validates the job spec.
+    pub fn validate(&self) -> Result<(), FillError> {
+        if self.name.is_empty() {
+            return Err(FillError::Invalid("fill job needs a name".into()));
+        }
+        if self.chunk_ns <= 0 {
+            return Err(FillError::Invalid(format!(
+                "job `{}`: non-positive chunk_ns {}",
+                self.name, self.chunk_ns
+            )));
+        }
+        if self.chunks == 0 {
+            return Err(FillError::Invalid(format!(
+                "job `{}`: zero chunks",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total submitted compute, ns.
+    pub fn total_compute_ns(&self) -> i64 {
+        self.chunk_ns * self.chunks as i64
+    }
+}
+
+/// Time to move `bytes` over a storage link, in integer nanoseconds.
+pub fn storage_time_ns(bytes: u64, storage: &LinkProfile) -> i64 {
+    let secs = storage.latency + bytes as f64 / storage.bandwidth;
+    (secs * 1e9).round() as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_time_scales_with_bytes() {
+        let link = LinkProfile {
+            bandwidth: 1e9,
+            latency: 1e-3,
+        };
+        // 1 GB over 1 GB/s + 1 ms latency = 1.001 s.
+        assert_eq!(storage_time_ns(1_000_000_000, &link), 1_001_000_000);
+    }
+
+    #[test]
+    fn job_validation_rejects_degenerate_specs() {
+        let job = FillJob {
+            name: "j".into(),
+            priority: PriorityClass::Eval,
+            chunk_ns: 10,
+            chunks: 4,
+            memory_bytes: 0,
+            state_bytes: 0,
+        };
+        assert!(job.validate().is_ok());
+        assert_eq!(job.total_compute_ns(), 40);
+        assert!(FillJob {
+            chunks: 0,
+            ..job.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FillJob {
+            chunk_ns: 0,
+            ..job.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(FillJob {
+            name: String::new(),
+            ..job
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn priority_ranks_are_ordered() {
+        let ranks: Vec<u8> = PriorityClass::ALL.iter().map(|c| c.rank()).collect();
+        assert_eq!(ranks, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,47 @@
+//! `optimus-fill` — multi-tenant bubble-fill planning.
+//!
+//! The paper exploits pipeline bubbles for *encoder* work; the larger prize
+//! (PipeFill) is filling those same bubbles with *independent* jobs — eval
+//! runs, data preprocessing, best-effort tenant work. This crate
+//! generalizes the recovery engine's checkpoint packer into a first-class
+//! planner:
+//!
+//! 1. **Bubble arbitration** ([`arbiter`]) — a [`BubbleArbiter`] carves the
+//!    schedule's proven-idle compute bubbles (the OPT005 claim machinery)
+//!    once per step and hands out non-overlapping spans to any number of
+//!    consumers: divisible takes for storage traffic, atomic takes for
+//!    preemptible compute chunks (preemption only at bubble boundaries).
+//!    Checkpoint shard writes and fill jobs negotiate the same intervals
+//!    through this one path.
+//! 2. **Job model** ([`job`]) — a [`FillJob`] names its compute cost per
+//!    preemptible chunk, resident HBM footprint, working-state bytes moved
+//!    over the `Storage` link on load/evict, and a [`PriorityClass`].
+//! 3. **Placement** ([`plan`]) — [`plan_fill`] packs job chunks into the
+//!    arbitrated bubbles with per-device HBM headroom accounting and a
+//!    configurable slack budget bounding how far fill work may stretch the
+//!    step past its makespan. Placement is sequential and deterministic:
+//!    bit-identical at any plan-search worker count.
+//! 4. **Pricing** ([`report`]) — a [`ClusterGoodputReport`] prices
+//!    primary-job slowdown against fill throughput, with a per-priority-
+//!    class breakdown, a naive run-after-training baseline, and bit-exact
+//!    golden text + JSON renderings.
+//!
+//! Soundness is checked statically: [`FillPlan::verify`] runs OPT005 on
+//! the combined insert set and the OPT008 fill-overlap pass (fill claims
+//! never overlap primary-schedule claims, checkpoint claims, or each
+//! other).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbiter;
+pub mod error;
+pub mod job;
+pub mod plan;
+pub mod report;
+
+pub use arbiter::{BubbleArbiter, TakenSpan};
+pub use error::FillError;
+pub use job::{storage_time_ns, FillJob, PriorityClass};
+pub use plan::{plan_fill, FillConfig, FillPlan, FillSpanKind, FillSpanRec, JobOutcome};
+pub use report::{ClassStats, ClusterGoodputReport};

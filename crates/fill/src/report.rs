@@ -1,0 +1,273 @@
+//! Cluster-goodput pricing: what fill throughput costs in primary-job
+//! slowdown, against a naive run-after-training baseline.
+
+use optimus_json::Json;
+
+use crate::job::PriorityClass;
+use crate::plan::FillPlan;
+
+/// Per-priority-class fill statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassStats {
+    /// The class.
+    pub class: PriorityClass,
+    /// Jobs submitted in this class.
+    pub jobs: u32,
+    /// Chunks submitted.
+    pub submitted_chunks: u32,
+    /// Chunks scheduled into bubbles.
+    pub scheduled_chunks: u32,
+    /// Chunks preempted out (state evicted).
+    pub evicted_chunks: u32,
+    /// Chunks deferred untouched.
+    pub deferred_chunks: u32,
+    /// Scheduled compute, ns.
+    pub compute_ns: i64,
+    /// Storage overhead (loads + evicts), ns.
+    pub overhead_ns: i64,
+}
+
+/// The headline result of one fill study: how much device-time the cluster
+/// keeps busy per step with fill enabled, what it cost the primary job, and
+/// how it compares to running the same fill work serially after the step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterGoodputReport {
+    /// Devices in the schedule.
+    pub devices: u32,
+    /// Fault-free primary step latency, ns.
+    pub step_ns: i64,
+    /// Step stretch caused by fill work past the primary tail, ns.
+    pub stretch_ns: i64,
+    /// Configured slack budget, ns (`stretch_ns <= slack_budget_ns`).
+    pub slack_budget_ns: i64,
+    /// Device-time the primary job keeps busy per step, ns.
+    pub primary_busy_ns: i64,
+    /// Device-time fill keeps busy per step (compute + storage overhead),
+    /// ns.
+    pub fill_busy_ns: i64,
+    /// Fill compute alone (the throughput that matters to tenants), ns.
+    pub fill_compute_ns: i64,
+    /// Naive baseline tail: the same placed fill spans executed serially
+    /// after the step on each device (the busiest device decides), ns.
+    pub naive_tail_ns: i64,
+    /// Per-priority-class breakdown, in service order (every class listed).
+    pub classes: Vec<ClassStats>,
+}
+
+impl ClusterGoodputReport {
+    /// Builds the report from a placed fill plan.
+    pub fn from_plan(plan: &FillPlan) -> ClusterGoodputReport {
+        let classes = PriorityClass::ALL
+            .iter()
+            .map(|&class| {
+                let outs = plan.outcomes.iter().filter(|o| o.job.priority == class);
+                let mut s = ClassStats {
+                    class,
+                    jobs: 0,
+                    submitted_chunks: 0,
+                    scheduled_chunks: 0,
+                    evicted_chunks: 0,
+                    deferred_chunks: 0,
+                    compute_ns: 0,
+                    overhead_ns: 0,
+                };
+                for o in outs {
+                    s.jobs += 1;
+                    s.submitted_chunks += o.job.chunks;
+                    s.scheduled_chunks += o.scheduled_chunks;
+                    s.evicted_chunks += o.evicted_chunks;
+                    s.deferred_chunks += o.deferred_chunks;
+                    s.compute_ns += o.compute_ns();
+                    s.overhead_ns += o.overhead_ns();
+                }
+                s
+            })
+            .collect();
+        let mut per_device = vec![0i64; plan.devices as usize];
+        for s in &plan.spans {
+            per_device[s.device as usize] += s.dur();
+        }
+        ClusterGoodputReport {
+            devices: plan.devices,
+            step_ns: plan.step_ns,
+            stretch_ns: plan.stretch_ns,
+            slack_budget_ns: plan.slack_budget_ns,
+            primary_busy_ns: plan.primary_busy_ns,
+            fill_busy_ns: plan.fill_compute_ns() + plan.fill_overhead_ns(),
+            fill_compute_ns: plan.fill_compute_ns(),
+            naive_tail_ns: per_device.iter().copied().max().unwrap_or(0),
+            classes,
+        }
+    }
+
+    /// Busy device-time per step with fill enabled (primary + fill), ns.
+    pub fn busy_ns(&self) -> i64 {
+        self.primary_busy_ns + self.fill_busy_ns
+    }
+
+    /// Cluster goodput with fill in the bubbles: busy device-time over
+    /// total device-time of the (possibly stretched) step.
+    pub fn cluster_goodput(&self) -> f64 {
+        let wall = self.step_ns + self.stretch_ns;
+        if wall <= 0 || self.devices == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (self.devices as i64 * wall) as f64
+    }
+
+    /// Cluster goodput of the naive baseline: the identical fill work runs
+    /// serially after an unstretched step, so the wall grows by the busiest
+    /// device's fill tail instead of the bubble stretch.
+    pub fn naive_goodput(&self) -> f64 {
+        let wall = self.step_ns + self.naive_tail_ns;
+        if wall <= 0 || self.devices == 0 {
+            return 0.0;
+        }
+        self.busy_ns() as f64 / (self.devices as i64 * wall) as f64
+    }
+
+    /// True when bubble fill strictly beats running the same work after
+    /// training (equivalently: the stretch is strictly smaller than the
+    /// naive tail).
+    pub fn beats_naive(&self) -> bool {
+        self.cluster_goodput() > self.naive_goodput()
+    }
+
+    /// Fill-job slowdown imposed on the primary job, as a fraction of the
+    /// step.
+    pub fn slowdown(&self) -> f64 {
+        if self.step_ns <= 0 {
+            return 0.0;
+        }
+        self.stretch_ns as f64 / self.step_ns as f64
+    }
+
+    /// Bit-exact text rendering (integers plus fixed-precision ratios of
+    /// integers): the golden-file and determinism-comparison format.
+    pub fn golden_text(&self) -> String {
+        let mut out = format!(
+            "cluster goodput {:.6} = busy (primary {} + fill {}) / ({} x wall {}) ns\n\
+             step {} stretch {} / slack budget {} | naive tail {} -> naive goodput {:.6}\n",
+            self.cluster_goodput(),
+            self.primary_busy_ns,
+            self.fill_busy_ns,
+            self.devices,
+            self.step_ns + self.stretch_ns,
+            self.step_ns,
+            self.stretch_ns,
+            self.slack_budget_ns,
+            self.naive_tail_ns,
+            self.naive_goodput(),
+        );
+        for s in &self.classes {
+            out.push_str(&format!(
+                "{}: jobs {} | chunks {}/{}/{} of {} (scheduled/evicted/deferred) \
+                 | compute {} overhead {} ns\n",
+                s.class.label(),
+                s.jobs,
+                s.scheduled_chunks,
+                s.evicted_chunks,
+                s.deferred_chunks,
+                s.submitted_chunks,
+                s.compute_ns,
+                s.overhead_ns,
+            ));
+        }
+        out
+    }
+
+    /// JSON rendering for downstream tooling.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("devices", Json::Num(self.devices as f64)),
+            ("step_ns", Json::Num(self.step_ns as f64)),
+            ("stretch_ns", Json::Num(self.stretch_ns as f64)),
+            ("slack_budget_ns", Json::Num(self.slack_budget_ns as f64)),
+            ("primary_busy_ns", Json::Num(self.primary_busy_ns as f64)),
+            ("fill_busy_ns", Json::Num(self.fill_busy_ns as f64)),
+            ("fill_compute_ns", Json::Num(self.fill_compute_ns as f64)),
+            ("naive_tail_ns", Json::Num(self.naive_tail_ns as f64)),
+            ("cluster_goodput", Json::Num(self.cluster_goodput())),
+            ("naive_goodput", Json::Num(self.naive_goodput())),
+            (
+                "classes",
+                Json::Arr(
+                    self.classes
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("class", Json::Str(s.class.label().into())),
+                                ("jobs", Json::Num(s.jobs as f64)),
+                                ("submitted_chunks", Json::Num(s.submitted_chunks as f64)),
+                                ("scheduled_chunks", Json::Num(s.scheduled_chunks as f64)),
+                                ("evicted_chunks", Json::Num(s.evicted_chunks as f64)),
+                                ("deferred_chunks", Json::Num(s.deferred_chunks as f64)),
+                                ("compute_ns", Json::Num(s.compute_ns as f64)),
+                                ("overhead_ns", Json::Num(s.overhead_ns as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(stretch: i64, naive_tail: i64) -> ClusterGoodputReport {
+        ClusterGoodputReport {
+            devices: 2,
+            step_ns: 1000,
+            stretch_ns: stretch,
+            slack_budget_ns: 50,
+            primary_busy_ns: 1500,
+            fill_busy_ns: 400,
+            fill_compute_ns: 350,
+            naive_tail_ns: naive_tail,
+            classes: vec![ClassStats {
+                class: PriorityClass::Eval,
+                jobs: 1,
+                submitted_chunks: 4,
+                scheduled_chunks: 4,
+                evicted_chunks: 0,
+                deferred_chunks: 0,
+                compute_ns: 350,
+                overhead_ns: 50,
+            }],
+        }
+    }
+
+    #[test]
+    fn goodput_prices_the_stretch() {
+        let r = report(0, 200);
+        assert!((r.cluster_goodput() - 1900.0 / 2000.0).abs() < 1e-12);
+        assert!((r.naive_goodput() - 1900.0 / 2400.0).abs() < 1e-12);
+        assert!(r.beats_naive());
+        assert_eq!(r.slowdown(), 0.0);
+        // Stretch equal to the naive tail: no win.
+        assert!(!report(200, 200).beats_naive());
+    }
+
+    #[test]
+    fn golden_text_is_stable() {
+        let r = report(10, 200);
+        assert_eq!(r.golden_text(), r.golden_text());
+        let text = r.golden_text();
+        assert!(
+            text.contains("step 1000 stretch 10 / slack budget 50"),
+            "{text}"
+        );
+        assert!(text.contains("eval: jobs 1 | chunks 4/0/0 of 4"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(10, 200);
+        let parsed = Json::parse(&r.to_json().to_compact()).expect("json");
+        assert_eq!(parsed.field("stretch_ns").unwrap().as_i64().unwrap(), 10);
+        assert_eq!(parsed.field("classes").unwrap().as_arr().unwrap().len(), 1);
+    }
+}

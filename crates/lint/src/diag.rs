@@ -31,11 +31,15 @@ pub enum DiagCode {
     /// interval carries no durable checkpoint claim — a failure there rolls
     /// back more work than the recovery budget allows.
     MissingCheckpoint,
+    /// OPT008: a fill claim overlaps a primary-schedule claim, a checkpoint
+    /// claim, or another fill claim — the bubble-fill placement would steal
+    /// device time the schedule already committed elsewhere.
+    FillClaimOverlap,
 }
 
 impl DiagCode {
     /// All codes, in numeric order.
-    pub const ALL: [DiagCode; 7] = [
+    pub const ALL: [DiagCode; 8] = [
         DiagCode::Cycle,
         DiagCode::StreamFifoInversion,
         DiagCode::CollectiveOrderMismatch,
@@ -43,6 +47,7 @@ impl DiagCode {
         DiagCode::BubbleInsertOverlap,
         DiagCode::OrphanTask,
         DiagCode::MissingCheckpoint,
+        DiagCode::FillClaimOverlap,
     ];
 
     /// The stable code string (`OPT001` …).
@@ -55,6 +60,7 @@ impl DiagCode {
             DiagCode::BubbleInsertOverlap => "OPT005",
             DiagCode::OrphanTask => "OPT006",
             DiagCode::MissingCheckpoint => "OPT007",
+            DiagCode::FillClaimOverlap => "OPT008",
         }
     }
 
@@ -68,6 +74,7 @@ impl DiagCode {
             DiagCode::BubbleInsertOverlap => "bubble-insert-overlap",
             DiagCode::OrphanTask => "orphan-task",
             DiagCode::MissingCheckpoint => "missing-durable-checkpoint",
+            DiagCode::FillClaimOverlap => "fill-claim-overlap",
         }
     }
 
@@ -296,7 +303,7 @@ mod tests {
         let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            vec!["OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006", "OPT007"]
+            vec!["OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006", "OPT007", "OPT008"]
         );
         assert!(Severity::Warning < Severity::Error);
     }

@@ -1,0 +1,140 @@
+//! Fill-claim exclusivity (OPT008).
+//!
+//! The bubble-fill planner places independent jobs into the same proven-idle
+//! intervals the encoder inserts and checkpoint shard writes use. OPT005
+//! already proves containment and per-lane exclusivity of the *combined*
+//! insert set; this pass adds the fill-specific invariant: a fill claim is a
+//! guest on the device and must never overlap — device-wide, on *any* lane
+//! or engine — a primary-schedule claim (relocated encoder work), a
+//! checkpoint shard write, or another fill claim. Each class is supplied
+//! separately so a violation names exactly which tenant lost time.
+
+use crate::diag::{DiagCode, Diagnostic, Witness};
+use crate::inserts::InsertClaim;
+
+fn span(start: i64, end: i64) -> String {
+    format!("[{start}, {end})")
+}
+
+fn overlaps(a: &InsertClaim, b: &InsertClaim) -> bool {
+    a.device == b.device && b.start < a.end && a.start < b.end
+}
+
+/// The claim classes sharing one step's bubbles, for the OPT008 pass.
+///
+/// Fill claims should be supplied deduplicated (one claim per placed span,
+/// not one per colocation lane): the check is device-wide and
+/// lane-agnostic, so lane duplicates of the same span would report as
+/// self-overlaps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FillSpec {
+    /// The schedule's own claims (relocated encoder work).
+    pub primary: Vec<InsertClaim>,
+    /// Checkpoint shard-write claims.
+    pub checkpoint: Vec<InsertClaim>,
+    /// Bubble-fill claims (deduplicated across lanes).
+    pub fill: Vec<InsertClaim>,
+}
+
+/// Runs OPT008 over a fill spec.
+pub(crate) fn check_fill(spec: &FillSpec) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut flag = |f: &InsertClaim, other: &InsertClaim, class: &str| {
+        out.push(Diagnostic::new(
+            DiagCode::FillClaimOverlap,
+            format!(
+                "fill claim `{}` {} overlaps {class} claim `{}` {} on device {}",
+                f.label,
+                span(f.start, f.end),
+                other.label,
+                span(other.start, other.end),
+                f.device,
+            ),
+            vec![Witness::note(format!(
+                "shared span {}",
+                span(f.start.max(other.start), f.end.min(other.end))
+            ))],
+        ));
+    };
+    for f in &spec.fill {
+        for p in &spec.primary {
+            if overlaps(f, p) {
+                flag(f, p, "primary");
+            }
+        }
+        for c in &spec.checkpoint {
+            if overlaps(f, c) {
+                flag(f, c, "checkpoint");
+            }
+        }
+    }
+    for (i, a) in spec.fill.iter().enumerate() {
+        for b in &spec.fill[i + 1..] {
+            if overlaps(a, b) {
+                flag(a, b, "sibling fill");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claim(label: &str, device: u32, start: i64, end: i64) -> InsertClaim {
+        InsertClaim {
+            device,
+            lane: 0,
+            comm: false,
+            start,
+            end,
+            label: label.into(),
+            chain: None,
+        }
+    }
+
+    #[test]
+    fn disjoint_classes_are_clean() {
+        let spec = FillSpec {
+            primary: vec![claim("enc", 0, 0, 10)],
+            checkpoint: vec![claim("ckpt", 0, 10, 20)],
+            fill: vec![claim("fill a", 0, 20, 30), claim("fill b", 0, 30, 40)],
+        };
+        assert!(check_fill(&spec).is_empty());
+    }
+
+    #[test]
+    fn cross_device_claims_never_conflict() {
+        let spec = FillSpec {
+            primary: vec![claim("enc", 0, 0, 10)],
+            checkpoint: vec![],
+            fill: vec![claim("fill", 1, 0, 10)],
+        };
+        assert!(check_fill(&spec).is_empty());
+    }
+
+    #[test]
+    fn each_overlap_class_is_named() {
+        let spec = FillSpec {
+            primary: vec![claim("enc", 0, 0, 10)],
+            checkpoint: vec![claim("ckpt", 0, 20, 30)],
+            fill: vec![claim("fill a", 0, 5, 25), claim("fill b", 0, 24, 40)],
+        };
+        let diags = check_fill(&spec);
+        assert_eq!(diags.len(), 4);
+        let msgs: Vec<&str> = diags.iter().map(|d| d.message.as_str()).collect();
+        assert!(msgs.iter().any(|m| m.contains("primary claim")), "{msgs:?}");
+        assert!(
+            msgs.iter()
+                .filter(|m| m.contains("checkpoint claim"))
+                .count()
+                == 2,
+            "{msgs:?}"
+        );
+        assert!(
+            msgs.iter().any(|m| m.contains("sibling fill claim")),
+            "{msgs:?}"
+        );
+    }
+}

@@ -16,6 +16,7 @@
 //! | OPT005 | `bubble-insert-overlap`     | an inserted kernel escapes its claimed idle interval, overlaps a sibling, breaks chain order, or violates a dependency point |
 //! | OPT006 | `orphan-task`               | a task with no dependency edges, alone on its stream queue — a mis-wired insert |
 //! | OPT007 | `missing-durable-checkpoint` | a schedule segment longer than the configured checkpoint interval carries no durable checkpoint claim |
+//! | OPT008 | `fill-claim-overlap`        | a bubble-fill claim overlaps a primary-schedule claim, a checkpoint claim, or another fill claim |
 //!
 //! Passes are composed through [`Analyzer`]; [`lint_graph`] is the one-call
 //! entry point for pure task-graph checks (OPT001/002/006 plus the
@@ -46,6 +47,7 @@
 pub mod checkpoint;
 pub mod collective;
 pub mod diag;
+pub mod fill;
 pub mod graph;
 pub mod inserts;
 pub mod memory;
@@ -53,6 +55,7 @@ pub mod memory;
 pub use checkpoint::CheckpointSpec;
 pub use collective::{CollectiveSpec, CommGroup, CommRank};
 pub use diag::{DiagCode, Diagnostic, LintReport, Severity, Witness};
+pub use fill::FillSpec;
 pub use inserts::{DepPoints, IdleInterval, InsertClaim, InsertSet};
 pub use memory::MemoryClaim;
 
@@ -75,6 +78,7 @@ pub struct Analyzer<'a> {
     inserts: Option<InsertSet>,
     dep_points: Option<DepPoints>,
     checkpoints: Vec<CheckpointSpec>,
+    fill: Option<FillSpec>,
     namer: Option<Namer<'a>>,
 }
 
@@ -122,6 +126,14 @@ impl<'a> Analyzer<'a> {
         self
     }
 
+    /// Attaches the claim classes of a bubble-fill placement: enables
+    /// OPT008 (fill claims must not overlap primary, checkpoint, or
+    /// sibling fill claims).
+    pub fn fill(mut self, spec: FillSpec) -> Analyzer<'a> {
+        self.fill = Some(spec);
+        self
+    }
+
     /// Substitutes a task namer for witness rendering.
     pub fn namer(mut self, f: impl Fn(TaskId) -> String + 'a) -> Analyzer<'a> {
         self.namer = Some(Box::new(f));
@@ -152,6 +164,9 @@ impl<'a> Analyzer<'a> {
         }
         for spec in &self.checkpoints {
             diagnostics.extend(checkpoint::check_checkpoints(spec));
+        }
+        if let Some(spec) = &self.fill {
+            diagnostics.extend(fill::check_fill(spec));
         }
         diagnostics.sort_by_key(|d| (std::cmp::Reverse(d.severity), d.code));
         LintReport { diagnostics }

@@ -5,7 +5,7 @@
 use optimus_cluster::DurNs;
 use optimus_lint::{
     lint_graph, Analyzer, CheckpointSpec, CollectiveSpec, CommGroup, CommRank, DepPoints, DiagCode,
-    IdleInterval, InsertClaim, InsertSet, LintReport, MemoryClaim, Severity,
+    FillSpec, IdleInterval, InsertClaim, InsertSet, LintReport, MemoryClaim, Severity,
 };
 use optimus_pipeline::{
     lower, one_f_one_b, Dir, InsertKernel, InsertStream, OpRef, PipelineSpec, StageSpec,
@@ -147,6 +147,45 @@ fn opt007_missing_checkpoint() {
         covered = covered.durable_at(k * step, format!("ckpt@{k}"));
     }
     assert!(Analyzer::new().checkpoints(covered).analyze().is_clean());
+}
+
+#[test]
+fn opt008_fill_claim_overlap() {
+    let claim = |label: &str, device: u32, start: i64, end: i64| InsertClaim {
+        device,
+        lane: 0,
+        comm: false,
+        start,
+        end,
+        label: label.into(),
+        chain: None,
+    };
+    // A fill chunk that leaks into the checkpoint shard write ahead of it,
+    // and a sibling pair double-booking the same bubble.
+    let spec = FillSpec {
+        primary: vec![claim("enc mb0", 0, 0, 100)],
+        checkpoint: vec![claim("ckpt shard dev0 chunk0", 0, 150, 250)],
+        fill: vec![
+            claim("fill eval chunk0", 0, 120, 180),
+            claim("fill etl chunk0", 1, 40, 90),
+            claim("fill etl chunk1", 1, 80, 130),
+        ],
+    };
+    let report = Analyzer::new().fill(spec).analyze();
+    assert_only(&report, DiagCode::FillClaimOverlap);
+    assert_eq!(report.count(DiagCode::FillClaimOverlap), 2);
+    assert!(report.has_errors(), "fill overlaps must be errors");
+
+    // The disjoint variant is clean: fill stays inside its own spans.
+    let clean = FillSpec {
+        primary: vec![claim("enc mb0", 0, 0, 100)],
+        checkpoint: vec![claim("ckpt shard dev0 chunk0", 0, 150, 250)],
+        fill: vec![
+            claim("fill eval chunk0", 0, 100, 150),
+            claim("fill etl chunk0", 1, 40, 90),
+        ],
+    };
+    assert!(Analyzer::new().fill(clean).analyze().is_clean());
 }
 
 // ---------------------------------------------------------------- mutations

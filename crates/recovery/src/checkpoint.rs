@@ -10,11 +10,13 @@
 //! a per-interval stall. The [`PlacementPolicy::CriticalPath`] baseline
 //! spills the entire write.
 
-use optimus_cluster::{ClusterTopology, LinkProfile};
-use optimus_core::{idle_intervals, schedule_insert_set, OptimusRun};
+use optimus_cluster::ClusterTopology;
+use optimus_core::OptimusRun;
+use optimus_fill::BubbleArbiter;
 use optimus_lint::{Analyzer, CheckpointSpec, InsertClaim, InsertSet, LintReport, Severity};
 use optimus_modeling::MemoryEstimate;
-use optimus_parallel::ColocationLayout;
+
+pub use optimus_fill::storage_time_ns;
 
 use crate::error::RecoveryError;
 
@@ -100,59 +102,12 @@ pub fn snapshot_bytes(memory: &MemoryEstimate) -> u64 {
     memory.model_states + memory.optimizer
 }
 
-/// Time to move `bytes` over a storage link, in integer nanoseconds.
-pub fn storage_time_ns(bytes: u64, storage: &LinkProfile) -> i64 {
-    let secs = storage.latency + bytes as f64 / storage.bandwidth;
-    (secs * 1e9).round() as i64
-}
-
-/// Subtracts sorted, merged `busy` spans from `iv`, returning the remaining
-/// free sub-intervals in time order.
-fn subtract_busy(iv: (i64, i64), busy: &[(i64, i64)]) -> Vec<(i64, i64)> {
-    let mut out = Vec::new();
-    let (mut cur, end) = iv;
-    for &(bs, be) in busy {
-        if be <= cur {
-            continue;
-        }
-        if bs >= end {
-            break;
-        }
-        if bs > cur {
-            out.push((cur, bs.min(end)));
-        }
-        cur = cur.max(be);
-        if cur >= end {
-            break;
-        }
-    }
-    if cur < end {
-        out.push((cur, end));
-    }
-    out
-}
-
-/// Merges sorted spans, coalescing overlaps.
-fn merge_spans(mut spans: Vec<(i64, i64)>) -> Vec<(i64, i64)> {
-    spans.sort_unstable();
-    let mut out: Vec<(i64, i64)> = Vec::with_capacity(spans.len());
-    for (s, e) in spans {
-        if e <= s {
-            continue;
-        }
-        match out.last_mut() {
-            Some(last) if s <= last.1 => last.1 = last.1.max(e),
-            _ => out.push((s, e)),
-        }
-    }
-    out
-}
-
 /// Prices and places a checkpoint schedule for one Optimus run.
 ///
-/// The free capacity a device offers per step is its proven-idle compute
-/// bubbles (clipped to the step `[0, makespan)`) minus every span the
-/// schedule already claims there for relocated encoder work — on *any* lane,
+/// Shard writes are placed through the shared [`BubbleArbiter`] — the same
+/// arbitration path bubble-fill jobs use — so the free capacity a device
+/// offers per step is its proven-idle compute bubbles minus every span the
+/// schedule already claims there for relocated encoder work, on *any* lane,
 /// because a shard write occupies the device's copy/compute engine outright.
 pub fn plan_checkpoints(
     run: &OptimusRun,
@@ -171,42 +126,15 @@ pub fn plan_checkpoints(
             "non-positive step latency {step_ns}"
         )));
     }
-    let layout = ColocationLayout::new(llm_plan, run.enc_plan)
-        .map_err(|e| RecoveryError::Plan(e.to_string()))?;
-    let base = schedule_insert_set(&run.outcome, &run.profile, &layout);
+    let mut arb = BubbleArbiter::new(run, llm_plan, &[]).map_err(|e| match e {
+        optimus_fill::FillError::Plan(msg) => RecoveryError::Plan(msg),
+        other => RecoveryError::Plan(other.to_string()),
+    })?;
 
     let bytes = snapshot_bytes(&run.memory);
     let write_ns = storage_time_ns(bytes, &topo.storage);
     let num_ranks = run.profile.devices.len() as u32;
-    let makespan = run.profile.makespan;
-
-    // Per-device free compute-bubble chunks for one step.
-    let intervals = idle_intervals(&run.profile);
-    let mut free: Vec<Vec<(i64, i64)>> = vec![Vec::new(); num_ranks as usize];
-    for d in 0..num_ranks {
-        let busy = merge_spans(
-            base.claims
-                .iter()
-                .filter(|c| c.device == d && !c.comm)
-                .map(|c| (c.start, c.end))
-                .collect(),
-        );
-        for iv in &intervals {
-            if iv.device != d || iv.comm {
-                continue;
-            }
-            let clipped = (iv.start.max(0), iv.end.min(makespan));
-            if clipped.1 <= clipped.0 {
-                continue;
-            }
-            free[d as usize].extend(subtract_busy(clipped, &busy));
-        }
-        free[d as usize].sort_unstable();
-    }
-    let caps: Vec<i64> = free
-        .iter()
-        .map(|chunks| chunks.iter().map(|&(s, e)| e - s).sum())
-        .collect();
+    let caps: Vec<i64> = arb.initial_capacities().to_vec();
 
     let k = cfg.interval_steps as i64;
     let (spill_ns, claims) = match cfg.policy {
@@ -221,25 +149,19 @@ pub fn plan_checkpoints(
                 .unwrap_or(write_ns);
             let per_step_goal = (write_ns + k - 1) / k;
             let mut claims = Vec::new();
-            for (d, chunks) in free.iter().enumerate() {
-                let mut budget = per_step_goal.min(caps[d]);
-                for (i, &(s, e)) in chunks.iter().enumerate() {
-                    if budget <= 0 {
-                        break;
-                    }
-                    let take = budget.min(e - s);
-                    budget -= take;
+            for d in 0..num_ranks {
+                for span in arb.take(d, per_step_goal.min(caps[d as usize])) {
                     // A shard write occupies the device outright, so claim
                     // the span on every colocation lane: overlap with any
                     // lane's encoder insert must trip OPT005.
-                    for lane in 0..layout.lanes.max(1) {
+                    for lane in 0..arb.lanes().max(1) {
                         claims.push(InsertClaim {
-                            device: d as u32,
+                            device: d,
                             lane,
                             comm: false,
-                            start: s,
-                            end: s + take,
-                            label: format!("ckpt shard dev{d} chunk{i}"),
+                            start: span.start,
+                            end: span.end,
+                            label: format!("ckpt shard dev{d} chunk{}", span.chunk),
                             chain: None,
                         });
                     }
@@ -249,7 +171,7 @@ pub fn plan_checkpoints(
         }
     };
 
-    let mut insert_set = base;
+    let mut insert_set = arb.base().clone();
     insert_set.claims.extend(claims.iter().cloned());
 
     Ok(CheckpointPlan {
@@ -337,35 +259,16 @@ impl CheckpointPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optimus_cluster::LinkProfile;
 
     #[test]
-    fn subtract_busy_carves_holes() {
-        assert_eq!(subtract_busy((0, 100), &[]), vec![(0, 100)]);
-        assert_eq!(
-            subtract_busy((0, 100), &[(20, 30), (50, 60)]),
-            vec![(0, 20), (30, 50), (60, 100)]
-        );
-        assert_eq!(subtract_busy((0, 100), &[(0, 100)]), vec![]);
-        assert_eq!(subtract_busy((10, 20), &[(0, 15)]), vec![(15, 20)]);
-        assert_eq!(subtract_busy((10, 20), &[(15, 40)]), vec![(10, 15)]);
-    }
-
-    #[test]
-    fn merge_spans_coalesces() {
-        assert_eq!(
-            merge_spans(vec![(5, 10), (0, 6), (20, 25), (25, 30)]),
-            vec![(0, 10), (20, 30)]
-        );
-        assert_eq!(merge_spans(vec![(3, 3), (1, 2)]), vec![(1, 2)]);
-    }
-
-    #[test]
-    fn storage_time_scales_with_bytes() {
+    fn storage_time_is_reexported_from_fill() {
+        // The cost model itself (and its unit tests) lives in
+        // `optimus-fill`; this pins the re-export.
         let link = LinkProfile {
             bandwidth: 1e9,
             latency: 1e-3,
         };
-        // 1 GB over 1 GB/s + 1 ms latency = 1.001 s.
         assert_eq!(storage_time_ns(1_000_000_000, &link), 1_001_000_000);
     }
 }

@@ -31,6 +31,26 @@ const ANNOTATION_TID: u32 = Stream::COUNT as u32;
 /// checkpoint-durable): one past the fault track.
 pub const RECOVERY_TID: u32 = Stream::COUNT as u32 + 1;
 
+/// Track id for bubble-fill busy spans (fill-job loads, compute chunks and
+/// evictions placed in proven-idle bubbles): one past the recovery track.
+pub const FILL_TID: u32 = Stream::COUNT as u32 + 2;
+
+/// A busy span on the dedicated fill track — a fill-job load, compute chunk
+/// or eviction the bubble-fill planner placed inside a proven-idle bubble.
+/// Rendered as a Chrome-trace *duration* event (`"ph":"X"`, category `fill`)
+/// on track [`FILL_TID`] of its device, above the recovery track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FillTraceSpan {
+    /// Span label (e.g. `"fill eval-suite chunk3"`).
+    pub label: String,
+    /// Device the span occupies.
+    pub device: u32,
+    /// Start in microseconds on the simulation clock.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub dur_us: f64,
+}
+
 fn stream_tid(s: Stream) -> u32 {
     s.index() as u32
 }
@@ -79,9 +99,25 @@ pub fn write_chrome_trace_with_recovery<W: Write>(
     result: &SimResult,
     faults: &[TraceAnnotation],
     recovery: &[TraceAnnotation],
+    out: W,
+) -> std::io::Result<()> {
+    write_chrome_trace_with_fill(graph, result, faults, recovery, &[], out)
+}
+
+/// Like [`write_chrome_trace_with_recovery`], with a dedicated *fill track*:
+/// each [`FillTraceSpan`] becomes a duration event (category `fill`) on track
+/// [`FILL_TID`] of its device. Spans are emitted per device in ascending
+/// start order regardless of input order, so the output stays ingestible by
+/// `optimus-calibrate` (which rejects out-of-order tracks).
+pub fn write_chrome_trace_with_fill<W: Write>(
+    graph: &TaskGraph,
+    result: &SimResult,
+    faults: &[TraceAnnotation],
+    recovery: &[TraceAnnotation],
+    fill: &[FillTraceSpan],
     mut out: W,
 ) -> std::io::Result<()> {
-    let mut events = Vec::with_capacity(graph.len() + faults.len() + recovery.len());
+    let mut events = Vec::with_capacity(graph.len() + faults.len() + recovery.len() + fill.len());
     for t in graph.tasks() {
         let span = result.span(t.id);
         events.push(Json::obj(vec![
@@ -115,6 +151,23 @@ pub fn write_chrome_trace_with_recovery<W: Write>(
                 ),
             ]));
         }
+    }
+    let mut ordered: Vec<&FillTraceSpan> = fill.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.device
+            .cmp(&b.device)
+            .then(a.start_us.total_cmp(&b.start_us))
+    });
+    for s in ordered {
+        events.push(Json::obj(vec![
+            ("name", Json::from(s.label.clone())),
+            ("cat", Json::from("fill")),
+            ("ph", Json::from("X")),
+            ("ts", Json::from(s.start_us)),
+            ("dur", Json::from(s.dur_us)),
+            ("pid", Json::from(s.device)),
+            ("tid", Json::from(FILL_TID)),
+        ]));
     }
     out.write_all(Json::Arr(events).to_compact().as_bytes())
 }
@@ -238,6 +291,56 @@ mod tests {
             RECOVERY_TID as f64
         );
         assert_eq!(rec.field("name").unwrap().as_str().unwrap(), "rollback");
+    }
+
+    #[test]
+    fn fill_spans_land_on_their_own_track_in_start_order() {
+        let mut g = TaskGraph::new(1);
+        g.push(
+            "fwd",
+            0,
+            Stream::Compute,
+            DurNs(1000),
+            TaskKind::Generic,
+            vec![],
+        );
+        let r = simulate(&g).unwrap();
+        // Deliberately out of order: the writer must sort per device.
+        let fill = [
+            FillTraceSpan {
+                label: "fill eval chunk1".into(),
+                device: 0,
+                start_us: 0.6,
+                dur_us: 0.2,
+            },
+            FillTraceSpan {
+                label: "fill eval load".into(),
+                device: 0,
+                start_us: 0.1,
+                dur_us: 0.3,
+            },
+        ];
+        let mut buf = Vec::new();
+        write_chrome_trace_with_fill(&g, &r, &[], &[], &fill, &mut buf).unwrap();
+        let parsed = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        let first = &arr[1];
+        assert_eq!(first.field("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(first.field("cat").unwrap().as_str().unwrap(), "fill");
+        assert_eq!(
+            first.field("tid").unwrap().as_f64().unwrap(),
+            FILL_TID as f64
+        );
+        assert_eq!(
+            first.field("name").unwrap().as_str().unwrap(),
+            "fill eval load"
+        );
+        assert_eq!(first.field("ts").unwrap().as_f64().unwrap(), 0.1);
+        assert_eq!(
+            arr[2].field("name").unwrap().as_str().unwrap(),
+            "fill eval chunk1"
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! * [`recovery`] — checkpoint/restart recovery: bubble-placed snapshot
 //!   writes, a deterministic failure-lifecycle simulator, elastic
 //!   degraded-mode planning, and goodput accounting;
+//! * [`fill`] — multi-tenant bubble-fill planning: packing independent
+//!   fill jobs (eval, preprocessing, best-effort tenants) into proven-idle
+//!   bubbles under a slack budget, with cluster-goodput pricing;
 //! * [`chaos`] — adversarial search over the perturbation space (faults,
 //!   degradations, stragglers, microbatch skew), scoring plans by regret,
 //!   lint violations, and recovery-ledger exactness, with property-test
@@ -60,6 +63,7 @@ pub use optimus_chaos as chaos;
 pub use optimus_cluster as cluster;
 pub use optimus_core as core;
 pub use optimus_faults as faults;
+pub use optimus_fill as fill;
 pub use optimus_lint as lint;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;

@@ -12,12 +12,13 @@ use optimus::calibrate::{
     apply_profiles, closed_loop_input, fit, CalibrateError, FidelityReport, IngestedTrace,
     KernelLog,
 };
-use optimus::cluster::{ClusterTopology, LinkClass};
-use optimus::core::{fault_annotations, LlmProfile};
+use optimus::cluster::{ClusterTopology, LinkClass, LinkProfile};
+use optimus::core::{fault_annotations, lowered_schedule, run_optimus, LlmProfile, OptimusConfig};
 use optimus::faults::{FaultModel, FaultScenario};
+use optimus::fill::{plan_fill, FillConfig, FillJob, PriorityClass};
 use optimus::modeling::{MllmConfig, Workload};
 use optimus::parallel::ParallelPlan;
-use optimus::trace::TraceAnnotation;
+use optimus::trace::{FillTraceSpan, TraceAnnotation, FILL_TID};
 
 fn small_workload() -> Workload {
     Workload::new(MllmConfig::small(), 8, 4, 1)
@@ -362,4 +363,97 @@ fn chrome_round_trip_keeps_recovery_track_separate_and_bit_exact() {
         merged_tbl,
         "the embedded merged table must survive bit-exactly"
     );
+}
+
+#[test]
+fn chrome_round_trip_keeps_fill_track_bit_exact() {
+    // Plan bubble fill over the 8-GPU reference run, render the fill spans
+    // on their dedicated chrome track, and ingest the trace back: every
+    // fill span must survive with bit-exact nanosecond endpoints.
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let ctx = SystemContext::hopper(8).unwrap();
+    let ctx = ctx.with_topology(ctx.topo.with_storage(LinkProfile {
+        bandwidth: 80e9,
+        latency: 100e-6,
+    }));
+    let mut cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+    // Schedule splicing (the lowered graph below) needs unadjusted
+    // dependency points, same as the chaos reference harness.
+    cfg.adjust_dep_points = false;
+    let run = run_optimus(&w, &cfg, &ctx).unwrap();
+    let jobs = [
+        FillJob {
+            name: "eval-suite".into(),
+            priority: PriorityClass::Eval,
+            chunk_ns: 2_000_000,
+            chunks: 4,
+            memory_bytes: 256 << 20,
+            state_bytes: 64 << 20,
+        },
+        FillJob {
+            name: "tokenize-shard".into(),
+            priority: PriorityClass::Preprocess,
+            chunk_ns: 1_000_000,
+            chunks: 6,
+            memory_bytes: 128 << 20,
+            state_bytes: 0,
+        },
+    ];
+    let plan = plan_fill(
+        &run,
+        cfg.llm_plan,
+        &ctx.topo,
+        &[],
+        &jobs,
+        &FillConfig::default(),
+    )
+    .unwrap();
+    assert!(
+        !plan.spans.is_empty(),
+        "fixture jobs should place some work"
+    );
+
+    let lowered = lowered_schedule(&run, &w, &ctx).unwrap().graph;
+    let result = optimus::sim::simulate(&lowered).unwrap();
+    let fill: Vec<FillTraceSpan> = plan
+        .spans
+        .iter()
+        .map(|s| FillTraceSpan {
+            label: format!("fill {} {}", s.job, s.kind.label()),
+            device: s.device,
+            start_us: s.start as f64 / 1000.0,
+            dur_us: s.dur() as f64 / 1000.0,
+        })
+        .collect();
+
+    let mut buf = Vec::new();
+    optimus::trace::write_chrome_trace_with_fill(&lowered, &result, &[], &[], &fill, &mut buf)
+        .unwrap();
+    let parsed = IngestedTrace::parse_chrome(std::str::from_utf8(&buf).unwrap()).unwrap();
+
+    // The primary busy spans still round-trip bit-exactly next to the new
+    // track, and the fill track holds exactly the planned spans.
+    for (key, track) in IngestedTrace::from_simulation(&lowered, &result).tracks {
+        assert_eq!(parsed.tracks.get(&key), Some(&track));
+    }
+    let mut total_fill = 0;
+    for d in 0..plan.devices {
+        let mut want: Vec<(i64, i64, String)> = plan
+            .spans
+            .iter()
+            .filter(|s| s.device == d)
+            .map(|s| (s.start, s.end, format!("fill {} {}", s.job, s.kind.label())))
+            .collect();
+        want.sort();
+        let got = parsed.track(d, FILL_TID);
+        assert_eq!(got.len(), want.len(), "device {d} fill span count");
+        total_fill += got.len();
+        for (g, (ws, we, wl)) in got.iter().zip(&want) {
+            assert_eq!(g.cat, "fill");
+            assert_eq!(&g.label, wl);
+            assert_eq!(g.start, *ws, "span {wl} start drifted");
+            assert_eq!(g.end, *we, "span {wl} end drifted");
+        }
+    }
+    assert_eq!(total_fill, plan.spans.len());
 }

@@ -12,10 +12,15 @@
 
 use std::path::PathBuf;
 
+use optimus::baselines::common::SystemContext;
 use optimus::chaos::{
     chaos_search, ledger_violations, lint_violations, perturbed_insert_set, shrink, ChaosFixture,
     ChaosHarness, ChaosPredicate, ChaosSearchConfig, ChaosSettings, FailureSpec, Perturbation,
 };
+use optimus::cluster::LinkProfile;
+use optimus::core::OptimusConfig;
+use optimus::modeling::{MllmConfig, Workload};
+use optimus::parallel::ParallelPlan;
 use optimus::recovery::{LostWork, RecoveryOutcome, Segment, SegmentKind};
 
 fn golden_dir() -> PathBuf {
@@ -81,6 +86,55 @@ fn lint_scorer_fires_on_a_stretched_schedule_only() {
         !lint_violations(&stretched).is_empty(),
         "a 2x straggler must escape the bubbles"
     );
+}
+
+/// The reference workload planned with an explicit bubble slack — the
+/// same cluster, plan, and settings as [`ChaosHarness::reference`], which
+/// plans at [`REFERENCE_BUBBLE_SLACK`].
+fn harness_with_slack(slack: f64) -> ChaosHarness {
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let ctx = SystemContext::hopper(8).expect("context");
+    let topo = ctx.topo.with_storage(LinkProfile {
+        bandwidth: 80e9,
+        latency: 100e-6,
+    });
+    let ctx = ctx.with_topology(topo);
+    let plan = ParallelPlan::new(2, 2, 2).expect("plan");
+    let mut cfg = OptimusConfig::new(plan);
+    cfg.adjust_dep_points = false;
+    cfg.bubble_slack = slack;
+    ChaosHarness::new(w, ctx, cfg, ChaosSettings::default()).expect("harness")
+}
+
+/// PR 6's minimized counterexamples proved a 1% straggler and 1% jitter
+/// escape zero-slack bubbles. The reference harness now plans with a 2%
+/// slack margin: the same perturbations lint clean, while the zero-slack
+/// plan (everything else identical) still trips OPT005. The re-minted
+/// fixtures pin the new escape threshold just past the margin.
+#[test]
+fn bubble_slack_closes_the_one_percent_escapes() {
+    let hardened = harness();
+    let zero_slack = harness_with_slack(0.0);
+
+    let mut straggler = Perturbation::zero(1);
+    straggler.straggler_device = 0;
+    straggler.straggler_pct = 1;
+    let mut jitter = Perturbation::zero(2);
+    jitter.jitter_pct = 1;
+
+    for (label, p) in [("1% straggler", &straggler), ("1% jitter", &jitter)] {
+        let on_hardened = lint_violations(&perturbed_insert_set(hardened.insert_set(), p));
+        assert!(
+            on_hardened.is_empty(),
+            "{label} must stay inside the slack margin: {on_hardened:?}"
+        );
+        let on_zero = lint_violations(&perturbed_insert_set(zero_slack.insert_set(), p));
+        assert!(
+            !on_zero.is_empty(),
+            "{label} no longer escapes zero-slack bubbles — the fixture \
+             counterexample went stale"
+        );
+    }
 }
 
 #[test]

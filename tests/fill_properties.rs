@@ -1,0 +1,245 @@
+//! Property tests for the multi-tenant bubble-fill planner: claim
+//! exclusivity against the primary schedule and checkpoint writes, memory
+//! headroom admission, preemption only at bubble boundaries (chunks are
+//! atomic), exact chunk conservation, the slack-budget stretch bound, and
+//! bit-identical plans across primary-search worker counts.
+
+use optimus::baselines::common::SystemContext;
+use optimus::cluster::LinkProfile;
+use optimus::core::{run_optimus, OptimusConfig, OptimusRun};
+use optimus::fill::{
+    plan_fill, ClusterGoodputReport, FillConfig, FillJob, FillPlan, FillSpanKind, PriorityClass,
+};
+use optimus::lint::InsertClaim;
+use optimus::modeling::{MllmConfig, Workload};
+use optimus::parallel::ParallelPlan;
+use optimus::recovery::{plan_checkpoints, CheckpointConfig, CheckpointPlan};
+
+fn build(search_workers: usize) -> (OptimusRun, SystemContext, OptimusConfig) {
+    let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+    let ctx = SystemContext::hopper(8).expect("cluster");
+    let ctx = ctx.with_topology(ctx.topo.with_storage(LinkProfile {
+        bandwidth: 80e9,
+        latency: 100e-6,
+    }));
+    let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).expect("plan"))
+        .with_search_workers(search_workers);
+    let run = run_optimus(&w, &cfg, &ctx).expect("optimus");
+    (run, ctx, cfg)
+}
+
+/// A mixed tenant batch: a small high-priority eval that completes, a
+/// stateless preprocessing sweep, an oversubscribed best-effort job that
+/// must be preempted (chunks exceed any step's bubbles), and a job whose
+/// resident footprint can never be admitted.
+fn jobs() -> Vec<FillJob> {
+    vec![
+        FillJob {
+            name: "eval-suite".into(),
+            priority: PriorityClass::Eval,
+            chunk_ns: 2_000_000,
+            chunks: 4,
+            memory_bytes: 256 << 20,
+            state_bytes: 64 << 20,
+        },
+        FillJob {
+            name: "tokenize-shard".into(),
+            priority: PriorityClass::Preprocess,
+            chunk_ns: 1_000_000,
+            chunks: 8,
+            memory_bytes: 128 << 20,
+            state_bytes: 0,
+        },
+        FillJob {
+            name: "hparam-sweep".into(),
+            priority: PriorityClass::BestEffort,
+            chunk_ns: 5_000_000,
+            chunks: 400,
+            memory_bytes: 512 << 20,
+            state_bytes: 128 << 20,
+        },
+        FillJob {
+            name: "giant-cache".into(),
+            priority: PriorityClass::BestEffort,
+            chunk_ns: 1_000_000,
+            chunks: 2,
+            memory_bytes: 200u64 << 30, // exceeds any HBM headroom
+            state_bytes: 0,
+        },
+    ]
+}
+
+fn plan(search_workers: usize) -> (FillPlan, CheckpointPlan, OptimusRun, SystemContext) {
+    let (run, ctx, cfg) = build(search_workers);
+    let ckpt = plan_checkpoints(&run, cfg.llm_plan, &ctx.topo, &CheckpointConfig::bubble(4))
+        .expect("checkpoint plan");
+    let fill = plan_fill(
+        &run,
+        cfg.llm_plan,
+        &ctx.topo,
+        &ckpt.claims,
+        &jobs(),
+        &FillConfig::default(),
+    )
+    .expect("fill plan");
+    (fill, ckpt, run, ctx)
+}
+
+fn overlaps(a: &InsertClaim, b: &InsertClaim) -> bool {
+    a.device == b.device && b.start < a.end && a.start < b.end
+}
+
+#[test]
+fn fill_claims_never_overlap_primary_checkpoint_or_each_other() {
+    let (fill, _, _, _) = plan(1);
+    fill.verify().expect("OPT005 + OPT008 clean");
+
+    let spec = fill.fill_spec();
+    assert!(!spec.fill.is_empty(), "fixture jobs should place some work");
+    for f in &spec.fill {
+        for p in &spec.primary {
+            assert!(
+                !overlaps(f, p),
+                "fill `{}` overlaps primary `{}`",
+                f.label,
+                p.label
+            );
+        }
+        for c in &spec.checkpoint {
+            assert!(
+                !overlaps(f, c),
+                "fill `{}` overlaps checkpoint `{}`",
+                f.label,
+                c.label
+            );
+        }
+    }
+    for (i, a) in spec.fill.iter().enumerate() {
+        for b in &spec.fill[i + 1..] {
+            assert!(
+                !overlaps(a, b),
+                "fill `{}` overlaps sibling fill `{}`",
+                a.label,
+                b.label
+            );
+        }
+    }
+}
+
+#[test]
+fn memory_headroom_bounds_admission() {
+    let (fill, _, run, ctx) = plan(1);
+    let headroom = ctx.topo.gpu.hbm_capacity - run.memory.total();
+    for d in 0..fill.devices {
+        let resident: u64 = fill
+            .outcomes
+            .iter()
+            .filter(|o| o.device == Some(d))
+            .map(|o| o.job.memory_bytes)
+            .sum();
+        assert!(
+            resident <= headroom,
+            "device {d} holds {resident} fill bytes over headroom {headroom}"
+        );
+    }
+    // The oversized job can never be admitted: it defers untouched.
+    let giant = fill
+        .outcomes
+        .iter()
+        .find(|o| o.job.name == "giant-cache")
+        .unwrap();
+    assert_eq!(giant.device, None);
+    assert_eq!(giant.deferred_chunks, giant.job.chunks);
+    assert!(!fill.spans.iter().any(|s| s.job == "giant-cache"));
+}
+
+#[test]
+fn chunks_are_atomic_and_preemption_happens_at_bubble_boundaries() {
+    let (fill, _, _, _) = plan(1);
+    // A compute chunk is never split across bubbles: preemption can only
+    // happen *between* chunks, i.e. at a bubble boundary. Loads and evicts
+    // are divisible and reconcile exactly against the priced storage time.
+    for o in &fill.outcomes {
+        let job_spans: Vec<_> = fill.spans.iter().filter(|s| s.job == o.job.name).collect();
+        let mut load = 0;
+        let mut evict = 0;
+        let mut chunks = 0;
+        for s in &job_spans {
+            assert!(
+                s.start >= 0 && s.end > s.start,
+                "degenerate span in {}",
+                s.job
+            );
+            match s.kind {
+                FillSpanKind::Chunk(_) => {
+                    assert_eq!(s.dur(), o.job.chunk_ns, "chunk split across bubbles");
+                    chunks += 1;
+                }
+                FillSpanKind::Load => load += s.dur(),
+                FillSpanKind::Evict => evict += s.dur(),
+            }
+        }
+        assert_eq!(chunks, o.scheduled_chunks);
+        assert_eq!(load, o.load_ns);
+        assert_eq!(evict, o.evict_ns);
+    }
+    // The oversubscribed job really exercised the preemption path.
+    let sweep = fill
+        .outcomes
+        .iter()
+        .find(|o| o.job.name == "hparam-sweep")
+        .unwrap();
+    assert!(sweep.scheduled_chunks > 0, "sweep should make progress");
+    assert!(sweep.evicted_chunks > 0, "sweep should be preempted");
+    assert!(sweep.evict_ns > 0, "preempted state must be written back");
+}
+
+#[test]
+fn chunks_conserve_and_stretch_respects_the_slack_budget() {
+    let (fill, _, _, _) = plan(1);
+    for o in &fill.outcomes {
+        assert_eq!(
+            o.scheduled_chunks + o.evicted_chunks + o.deferred_chunks,
+            o.job.chunks,
+            "job `{}` lost chunks",
+            o.job.name
+        );
+        if o.device.is_none() {
+            assert_eq!(o.deferred_chunks, o.job.chunks);
+            assert_eq!(o.load_ns + o.evict_ns, 0);
+        }
+    }
+    assert!(fill.stretch_ns >= 0);
+    assert!(
+        fill.stretch_ns <= fill.slack_budget_ns,
+        "stretch {} exceeds slack budget {}",
+        fill.stretch_ns,
+        fill.slack_budget_ns
+    );
+    for s in &fill.spans {
+        assert!(
+            s.end <= fill.step_end_ns + fill.slack_budget_ns,
+            "span `{}` ends past the slack appendix",
+            s.job
+        );
+    }
+}
+
+#[test]
+fn plans_are_bit_identical_across_search_worker_counts() {
+    let (serial, _, _, _) = plan(1);
+    let (parallel, _, _, _) = plan(4);
+    assert_eq!(serial, parallel, "worker count changed the fill plan");
+
+    let a = ClusterGoodputReport::from_plan(&serial);
+    let b = ClusterGoodputReport::from_plan(&parallel);
+    assert_eq!(a.golden_text(), b.golden_text());
+    assert_eq!(a.to_json().to_compact(), b.to_json().to_compact());
+
+    // The priced report shows real fill throughput within the slack budget,
+    // and beats running the same fill work serially after the step.
+    assert!(serial.fill_compute_ns() > 0);
+    assert!(a.cluster_goodput() > a.naive_goodput());
+    assert!(a.beats_naive());
+    assert!(a.slowdown() <= FillConfig::default().slack_budget);
+}

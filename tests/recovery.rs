@@ -227,6 +227,40 @@ fn golden_recovery_timeline() {
 }
 
 #[test]
+fn golden_goodput_report_guards_checkpoint_packing() {
+    // Pins the exact `GoodputReport` golden text of the reference
+    // multi-fault run. Minted before `plan_checkpoints` moved onto the
+    // shared `optimus-fill` bubble arbiter, this guards the migration:
+    // any drift in claim carving, packing order, or spill math shows up
+    // here as a byte diff.
+    let (run, _, ctx, cfg) = build(1);
+    let plan = bubble_plan(&run, &cfg, &ctx);
+    let trace = multi_fault_trace(&plan);
+    let outcome =
+        simulate_lifecycle(&plan, &trace, &RecoveryParams::defaults(), HORIZON).expect("lifecycle");
+    let actual = GoodputReport::from_outcome(&outcome).golden_text();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/recovery_goodput.txt");
+    if std::env::var_os("OPTIMUS_REGEN_GOLDEN").is_some() {
+        std::fs::write(&path, &actual).expect("write golden goodput");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden goodput {}: {e}\n\
+             regenerate with OPTIMUS_REGEN_GOLDEN=1 cargo test --test recovery",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "checkpoint goodput diverged from {}; if intentional, regenerate with \
+         OPTIMUS_REGEN_GOLDEN=1 cargo test --test recovery",
+        path.display()
+    );
+}
+
+#[test]
 fn elastic_decision_is_bit_identical_across_search_workers() {
     // The elastic planner prices shrink-DP and drop-replica by re-running
     // the Optimus plan search on the shrunken cluster; the chosen mode
