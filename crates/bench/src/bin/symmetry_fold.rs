@@ -1,0 +1,52 @@
+//! Symmetry-folding scaling sweep (512 → 3072 → 8192 GPUs).
+//!
+//! `--smoke` is the CI gate, pinned to the paper's 3072-GPU operating
+//! point: the certificate-driven folded engine must deliver a >5×
+//! simulation speedup over the full engine while staying bit-identical
+//! (spans and makespan), and even the one-shot path — certify once, then
+//! simulate folded — must beat a single full simulation outright. `--write`
+//! regenerates `BENCH_symmetry.json` at the repo root from a full
+//! (non-smoke) sweep.
+
+use optimus_bench::experiments::symmetry;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+    let (report, study) = symmetry::run(smoke);
+    println!("{report}");
+
+    for p in &study.points {
+        assert!(
+            p.identical,
+            "folded result diverged from full simulation at {} GPUs",
+            p.gpus
+        );
+        assert!(p.folded, "clean grid must fold at {} GPUs", p.gpus);
+        assert!(
+            p.certify_ms + p.folded_ms < p.full_ms,
+            "one-shot certify+folded ({:.2}ms + {:.2}ms) must beat one full \
+             simulation ({:.2}ms) at {} GPUs",
+            p.certify_ms,
+            p.folded_ms,
+            p.full_ms,
+            p.gpus
+        );
+    }
+    if smoke {
+        let p = study.smoke_point();
+        assert!(
+            p.speedup > symmetry::SMOKE_SPEEDUP,
+            "folded engine must beat full simulation by >{:.0}x at {} GPUs, got {:.2}x",
+            symmetry::SMOKE_SPEEDUP,
+            symmetry::SMOKE_GPUS,
+            p.speedup
+        );
+        eprintln!("smoke assertions passed");
+    }
+    if write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_symmetry.json");
+        std::fs::write(path, study.to_json()).expect("write BENCH_symmetry.json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -17,6 +17,7 @@ pub mod lint_sweep;
 pub mod planner_scaling;
 pub mod recovery;
 pub mod resilience;
+pub mod symmetry;
 pub mod table1;
 pub mod table4;
 pub mod table5;

@@ -1,0 +1,286 @@
+//! Symmetry-folding scaling study: wall-clock of the full simulator vs the
+//! certificate-driven folded engine as the TP×DP grid grows from 512 to
+//! 8192 GPUs around a fixed pipeline depth.
+//!
+//! Three phases are timed separately, mirroring how the fold is deployed:
+//! `full` (simulate every device), `certify` (the one-time static symmetry
+//! pass that issues the certificate), and `folded` (simulate one
+//! representative per class under the certificate and replicate spans to
+//! the whole cluster). Plan search re-simulates certified layouts many
+//! times, so the certificate amortizes; the smoke gate therefore pins the
+//! *simulation* speedup (`full / folded`) — but also requires the one-shot
+//! path (`certify + folded`) to beat full simulation outright, so the fold
+//! pays off even without amortization.
+//!
+//! Both engines must agree bit-for-bit at every scale — the folded column
+//! is only allowed to be *faster*, never different.
+
+use std::time::Instant;
+
+use optimus_cluster::DurNs;
+use optimus_core::expand_cluster;
+use optimus_lint::certify_symmetry;
+use optimus_pipeline::{lower, one_f_one_b, PipelineSpec, StageSpec, TimedKernel};
+use optimus_sim::simulate;
+use optimus_trace::TextTable;
+
+/// One (gpus = stages × lanes × replicas) point of the sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Total devices in the expanded cluster.
+    pub gpus: u32,
+    /// Pipeline stages (devices per TP×DP column).
+    pub stages: u32,
+    /// TP lanes per replica.
+    pub lanes: u32,
+    /// DP replicas.
+    pub replicas: u32,
+    /// Tasks in the expanded graph.
+    pub tasks: usize,
+    /// Devices the folded engine actually simulated.
+    pub devices_simulated: usize,
+    /// Symmetry classes in the certificate.
+    pub classes: usize,
+    /// Full-simulation wall-clock in milliseconds (best of two runs).
+    pub full_ms: f64,
+    /// One-time certificate issuance wall-clock in milliseconds (best of
+    /// two).
+    pub certify_ms: f64,
+    /// Certificate-driven folded-simulation wall-clock in milliseconds
+    /// (best of two).
+    pub folded_ms: f64,
+    /// Simulation speedup `full_ms / folded_ms`.
+    pub speedup: f64,
+    /// Folded result is bit-identical to full (spans and makespan).
+    pub identical: bool,
+    /// The folded engine actually ran (certificate issued and used).
+    pub folded: bool,
+}
+
+/// Sweep output: one row per scale.
+#[derive(Debug, Clone)]
+pub struct Study {
+    /// Measured points, smallest cluster first.
+    pub points: Vec<ScalePoint>,
+}
+
+impl Study {
+    /// The point the smoke gate is pinned to (3072 GPUs).
+    pub fn smoke_point(&self) -> &ScalePoint {
+        self.points
+            .iter()
+            .find(|p| p.gpus == SMOKE_GPUS)
+            .expect("sweep includes the 3072-GPU point")
+    }
+
+    /// Renders the sweep as a `BENCH_symmetry.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from(
+            "{\n  \"experiment\": \"symmetry_fold\",\n  \"unit\": \"ms\",\n  \"points\": [\n",
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"gpus\": {}, \"stages\": {}, \"lanes\": {}, \"replicas\": {}, \
+                 \"tasks\": {}, \"devices_simulated\": {}, \"classes\": {}, \
+                 \"full_ms\": {:.3}, \"certify_ms\": {:.3}, \"folded_ms\": {:.3}, \
+                 \"speedup\": {:.2}, \"identical\": {}}}{}\n",
+                p.gpus,
+                p.stages,
+                p.lanes,
+                p.replicas,
+                p.tasks,
+                p.devices_simulated,
+                p.classes,
+                p.full_ms,
+                p.certify_ms,
+                p.folded_ms,
+                p.speedup,
+                p.identical,
+                if i + 1 == self.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// GPU count the smoke assertions are pinned to.
+pub const SMOKE_GPUS: u32 = 3072;
+
+/// Required folded speedup at [`SMOKE_GPUS`].
+pub const SMOKE_SPEEDUP: f64 = 5.0;
+
+/// The sweep grid: (stages, lanes, replicas) with stages·lanes·replicas GPUs.
+pub const SCALES: [(u32, u32, u32); 3] = [
+    (8, 8, 8),   // 512 GPUs
+    (16, 8, 24), // 3072 GPUs — the paper's strong-scaling point
+    (16, 8, 64), // 8192 GPUs
+];
+
+/// Synthetic per-stage kernel mix; scaled so the base 1F1B pipeline lowers
+/// to a few thousand tasks per column.
+fn spec(stages: u32, n_mb: u32) -> PipelineSpec {
+    let stage = StageSpec {
+        fwd: vec![
+            TimedKernel {
+                label: "f",
+                dur: DurNs(420_000),
+                comm: false,
+            },
+            TimedKernel {
+                label: "ag",
+                dur: DurNs(60_000),
+                comm: true,
+            },
+        ],
+        bwd: vec![
+            TimedKernel {
+                label: "b",
+                dur: DurNs(830_000),
+                comm: false,
+            },
+            TimedKernel {
+                label: "rs",
+                dur: DurNs(60_000),
+                comm: true,
+            },
+        ],
+        bwd_weight: vec![],
+        activation_bytes: 1 << 24,
+        params_per_gpu: 1 << 24,
+    };
+    PipelineSpec {
+        pp: stages,
+        vpp: 1,
+        n_microbatches: n_mb,
+        stages: vec![stage; stages as usize],
+        dp_allgather: DurNs(500_000),
+        dp_reducescatter: DurNs(700_000),
+        p2p: DurNs(35_000),
+    }
+}
+
+fn measure_point(stages: u32, lanes: u32, replicas: u32) -> ScalePoint {
+    let n_mb = 2 * stages;
+    let base = lower(
+        &spec(stages, n_mb),
+        &one_f_one_b(stages, n_mb).unwrap(),
+        &[],
+    )
+    .expect("base pipeline lowers")
+    .graph;
+    let cluster = expand_cluster(&base, lanes, replicas);
+
+    // Best-of-two on every phase to shave scheduler noise off the CI smoke
+    // gate (the bench box is a single shared core).
+    let mut full_ms = f64::INFINITY;
+    let mut full = None;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let r = simulate(&cluster.graph).expect("full simulation");
+        full_ms = full_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        full = Some(r);
+    }
+    let full = full.unwrap();
+
+    let mut certify_ms = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let o = certify_symmetry(&cluster.graph, &cluster.coords);
+        certify_ms = certify_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        outcome = Some(o);
+    }
+    let outcome = outcome.unwrap();
+    assert!(
+        !outcome.report.has_errors(),
+        "clean expansion must certify: {}",
+        outcome.report
+    );
+    let cert = outcome
+        .certificate
+        .expect("clean expansion yields a certificate");
+    assert!(
+        cert.covers(&cluster.graph),
+        "certificate must cover the graph"
+    );
+    let plan = cert.fold_plan();
+
+    let mut folded_ms = f64::INFINITY;
+    let mut folded = None;
+    for _ in 0..2 {
+        let t = Instant::now();
+        let r = optimus_sim::simulate_folded(&cluster.graph, &plan).expect("folded simulation");
+        folded_ms = folded_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        folded = Some(r);
+    }
+    let (folded, stats) = folded.unwrap();
+
+    let identical = folded.spans() == full.spans() && folded.makespan() == full.makespan();
+    ScalePoint {
+        gpus: stages * lanes * replicas,
+        stages,
+        lanes,
+        replicas,
+        tasks: cluster.graph.tasks().len(),
+        devices_simulated: stats.devices_simulated,
+        classes: cert.classes.len(),
+        full_ms,
+        certify_ms,
+        folded_ms,
+        speedup: full_ms / folded_ms.max(1e-9),
+        identical,
+        folded: !plan.is_identity(),
+    }
+}
+
+/// Runs the sweep; `smoke` stops at the 3072-GPU gate point so the CI step
+/// stays cheap. Returns (report, study).
+pub fn run(smoke: bool) -> (String, Study) {
+    let mut points = Vec::new();
+    let mut out = String::from(
+        "== Symmetry folding: full vs certificate-driven folded simulation ==\n\
+         fixed pipeline depth, TP×DP grid swept; folded must be bit-identical\n\n",
+    );
+    for (stages, lanes, replicas) in SCALES {
+        if smoke && stages * lanes * replicas > SMOKE_GPUS {
+            out.push_str(&format!(
+                "(smoke: skipping {} GPUs)\n",
+                stages * lanes * replicas
+            ));
+            continue;
+        }
+        let point = measure_point(stages, lanes, replicas);
+        points.push(point);
+    }
+
+    let mut t = TextTable::new(vec![
+        "GPUs",
+        "Grid (pp×tp×dp)",
+        "Tasks",
+        "Sim'd devices",
+        "Classes",
+        "Full (ms)",
+        "Certify (ms)",
+        "Folded (ms)",
+        "Speedup",
+        "Identical",
+    ]);
+    for p in &points {
+        t.row(vec![
+            p.gpus.to_string(),
+            format!("{}×{}×{}", p.stages, p.lanes, p.replicas),
+            p.tasks.to_string(),
+            p.devices_simulated.to_string(),
+            p.classes.to_string(),
+            format!("{:.2}", p.full_ms),
+            format!("{:.2}", p.certify_ms),
+            format!("{:.2}", p.folded_ms),
+            format!("{:.2}x", p.speedup),
+            p.identical.to_string(),
+        ]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+    (out, Study { points })
+}

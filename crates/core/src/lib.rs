@@ -36,6 +36,7 @@
 pub mod adaptive;
 pub mod encoder;
 pub mod error;
+pub mod fold;
 pub mod lint;
 pub mod memory;
 pub mod optimus;
@@ -49,6 +50,10 @@ pub mod verify;
 pub use adaptive::{fault_annotations, resilience_study, ResilienceReport};
 pub use encoder::{EncKernel, EncoderStageWork, EncoderWork};
 pub use error::OptimusError;
+pub use fold::{
+    expand_cluster, simulate_symmetric, simulate_symmetric_with_claims, ClusterGraph, FoldSummary,
+    FoldedRun,
+};
 pub use lint::{
     idle_intervals, lane_collective_spec, lint_profile, lint_run, memory_claim,
     schedule_dep_points, schedule_insert_set, LintMode,

@@ -51,6 +51,13 @@ pub struct OptimusConfig {
     /// Worker threads for the candidate plan search; `0` = one per
     /// available core. The chosen plan is bit-identical for any value.
     pub search_workers: usize,
+    /// Route the profile simulation through the certificate-driven folded
+    /// engine (`crate::fold`): the cluster graph is certified for rank
+    /// symmetry and only one representative per equivalence class is
+    /// simulated. Bit-identical to full simulation — the engine falls back
+    /// whenever the certifier refuses (OPT010 `asymmetric-collective`) —
+    /// so this defaults to `true`.
+    pub folded_sim: bool,
     /// Static analysis of the chosen schedule before it is returned
     /// (deadlock signatures, collective mismatches, bubble-claim validity,
     /// memory budget). `Deny` fails the run on error diagnostics.
@@ -71,6 +78,7 @@ impl OptimusConfig {
             llm_schedule: crate::profile::LlmScheduleKind::default(),
             mb_scales: None,
             search_workers: 0,
+            folded_sim: true,
             lint: crate::lint::LintMode::default(),
         }
     }
@@ -78,6 +86,12 @@ impl OptimusConfig {
     /// Sets the plan-search worker count (`0` = one per available core).
     pub fn with_search_workers(mut self, workers: usize) -> OptimusConfig {
         self.search_workers = workers;
+        self
+    }
+
+    /// Enables or disables the certificate-driven folded simulation engine.
+    pub fn with_folded_sim(mut self, folded: bool) -> OptimusConfig {
+        self.folded_sim = folded;
         self
     }
 }
@@ -117,12 +131,13 @@ pub fn run_optimus(
     ctx: &SystemContext,
 ) -> Result<OptimusRun, OptimusError> {
     let planner: PlannerOutput = plan_model(w, &cfg.llm_plan, ctx.topo.gpu.hbm_capacity)?;
-    let profile = LlmProfile::build_full(
+    let profile = LlmProfile::build_routed(
         w,
         &cfg.llm_plan,
         ctx,
         cfg.adjust_dep_points,
         cfg.llm_schedule,
+        cfg.folded_sim,
     )?;
     let n_mb = profile.n_microbatches();
 

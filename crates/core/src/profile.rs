@@ -15,8 +15,8 @@ use optimus_cluster::DurNs;
 use optimus_modeling::Workload;
 use optimus_parallel::ParallelPlan;
 use optimus_pipeline::{
-    dependency_points, interleaved_1f1b, one_f_one_b, simulate_pipeline, zero_bubble_h1, Lowered,
-    PipelineSchedule, PipelineSpec, StageSpec,
+    dependency_points, interleaved_1f1b, lower, one_f_one_b, simulate_pipeline, zero_bubble_h1,
+    Lowered, PipelineSchedule, PipelineSpec, StageSpec,
 };
 use optimus_sim::{SimResult, Stream, TaskKind};
 
@@ -115,6 +115,11 @@ pub struct LlmProfile {
     pub devices: Vec<DeviceProfile>,
     /// P2P margin applied to cross-device encoder dependencies.
     pub p2p_margin: DurNs,
+    /// How the cluster-scale simulation behind this profile was executed:
+    /// `Some` when the profile was routed through the certificate-driven
+    /// folded engine (`tp · dp > 1` and folding enabled), `None` when the
+    /// base pipeline was simulated directly.
+    pub fold: Option<crate::fold::FoldSummary>,
 }
 
 impl LlmProfile {
@@ -142,13 +147,36 @@ impl LlmProfile {
         LlmProfile::build_full(w, llm_plan, ctx, adjusted, LlmScheduleKind::OneFOneB)
     }
 
-    /// Builds the profile under an explicit LLM pipeline schedule.
+    /// Builds the profile under an explicit LLM pipeline schedule, routed
+    /// through the certificate-driven folded engine (the default path).
     pub fn build_full(
         w: &Workload,
         llm_plan: &ParallelPlan,
         ctx: &SystemContext,
         adjusted: bool,
         kind: LlmScheduleKind,
+    ) -> Result<LlmProfile, OptimusError> {
+        LlmProfile::build_routed(w, llm_plan, ctx, adjusted, kind, true)
+    }
+
+    /// Builds the profile, choosing the simulation engine explicitly.
+    ///
+    /// With `folded = true` and `tp · dp > 1`, the base pipeline is expanded
+    /// to the full `pp × tp × dp` cluster graph, the rank-symmetry certifier
+    /// proves one pipeline column represents them all, and the folded engine
+    /// simulates only the representatives — falling back to full cluster
+    /// simulation whenever the certificate is refused (OPT010) or stale. The
+    /// projected base result is bit-identical to simulating the base
+    /// pipeline directly, so callers see no behavioural difference — only
+    /// the cluster-scale validation and the [`crate::fold::FoldSummary`]
+    /// recorded on the profile.
+    pub fn build_routed(
+        w: &Workload,
+        llm_plan: &ParallelPlan,
+        ctx: &SystemContext,
+        adjusted: bool,
+        kind: LlmScheduleKind,
+        folded: bool,
     ) -> Result<LlmProfile, OptimusError> {
         if kind == LlmScheduleKind::ZeroBubble && llm_plan.vpp != 1 {
             return Err(OptimusError::Setup(
@@ -210,7 +238,17 @@ impl LlmProfile {
             }
             LlmScheduleKind::OneFOneB => one_f_one_b(llm_plan.pp, n_mb)?,
         };
-        let (lowered, result) = simulate_pipeline(&spec, &schedule, &[])?;
+        let (lowered, result, fold) = if folded && llm_plan.tp * llm_plan.dp > 1 {
+            let lowered = lower(&spec, &schedule, &[])?;
+            let cluster = crate::fold::expand_cluster(&lowered.graph, llm_plan.tp, llm_plan.dp);
+            let run = crate::fold::simulate_symmetric(&cluster.graph, &cluster.coords)?;
+            let summary = run.summary(cluster.graph.num_devices());
+            let base = cluster.base_result(&run.result);
+            (lowered, base, Some(summary))
+        } else {
+            let (lowered, result) = simulate_pipeline(&spec, &schedule, &[])?;
+            (lowered, result, None)
+        };
         let dep = dependency_points(&lowered, &result, n_mb, adjusted)?;
 
         let makespan = result.makespan().0 as Ts;
@@ -231,6 +269,7 @@ impl LlmProfile {
             f_points: dep.forward.iter().map(|t| t.0 as Ts).collect(),
             b_points: dep.backward.iter().map(|t| t.0 as Ts).collect(),
             devices,
+            fold,
         })
     }
 

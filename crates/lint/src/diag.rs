@@ -35,11 +35,115 @@ pub enum DiagCode {
     /// claim, or another fill claim — the bubble-fill placement would steal
     /// device time the schedule already committed elsewhere.
     FillClaimOverlap,
+    /// OPT009: a device provably diverges from its rank-symmetry equivalence
+    /// class (straggler-faulted durations, fail-stop rewrites, irregular
+    /// coordinates). The certifier *degrades* the device into a singleton
+    /// class — folded simulation stays sound, just less folded — so this
+    /// warns rather than errors.
+    SymmetryBroken,
+    /// OPT010: a collective's endpoint set crosses symmetry classes
+    /// inconsistently — the positional witness renaming has no image for one
+    /// of its edges. Folding such a graph would be unsound, so the certifier
+    /// refuses to issue a certificate.
+    AsymmetricCollective,
 }
+
+/// One row of the diagnostic registry: everything that used to be
+/// hand-duplicated across `DiagCode`'s accessors, the crate-doc table, and
+/// DESIGN.md. The registry is the single source of truth; consistency tests
+/// pin the rendered docs to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiagSpec {
+    /// The enum variant this row describes.
+    pub code: DiagCode,
+    /// The stable code string (`OPT001` …).
+    pub id: &'static str,
+    /// The kebab-case lint name.
+    pub slug: &'static str,
+    /// The severity the pass reports at.
+    pub severity: Severity,
+    /// Where the diagnostic is documented.
+    pub docs: &'static str,
+}
+
+/// The diagnostic registry, in numeric order. Index `i` holds the spec of
+/// the `i`-th declared [`DiagCode`] variant (pinned by a test).
+pub const REGISTRY: [DiagSpec; 10] = [
+    DiagSpec {
+        code: DiagCode::Cycle,
+        id: "OPT001",
+        slug: "cycle",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::StreamFifoInversion,
+        id: "OPT002",
+        slug: "stream-fifo-inversion",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::CollectiveOrderMismatch,
+        id: "OPT003",
+        slug: "collective-order-mismatch",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::MemoryOverBudget,
+        id: "OPT004",
+        slug: "memory-over-budget",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::BubbleInsertOverlap,
+        id: "OPT005",
+        slug: "bubble-insert-overlap",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::OrphanTask,
+        id: "OPT006",
+        slug: "orphan-task",
+        severity: Severity::Warning,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::MissingCheckpoint,
+        id: "OPT007",
+        slug: "missing-durable-checkpoint",
+        severity: Severity::Warning,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::FillClaimOverlap,
+        id: "OPT008",
+        slug: "fill-claim-overlap",
+        severity: Severity::Error,
+        docs: "DESIGN.md §9",
+    },
+    DiagSpec {
+        code: DiagCode::SymmetryBroken,
+        id: "OPT009",
+        slug: "symmetry-broken",
+        severity: Severity::Warning,
+        docs: "DESIGN.md §14",
+    },
+    DiagSpec {
+        code: DiagCode::AsymmetricCollective,
+        id: "OPT010",
+        slug: "asymmetric-collective",
+        severity: Severity::Error,
+        docs: "DESIGN.md §14",
+    },
+];
 
 impl DiagCode {
     /// All codes, in numeric order.
-    pub const ALL: [DiagCode; 8] = [
+    pub const ALL: [DiagCode; 10] = [
         DiagCode::Cycle,
         DiagCode::StreamFifoInversion,
         DiagCode::CollectiveOrderMismatch,
@@ -48,44 +152,36 @@ impl DiagCode {
         DiagCode::OrphanTask,
         DiagCode::MissingCheckpoint,
         DiagCode::FillClaimOverlap,
+        DiagCode::SymmetryBroken,
+        DiagCode::AsymmetricCollective,
     ];
+
+    /// This code's registry row.
+    pub fn spec(self) -> &'static DiagSpec {
+        // Declaration order matches registry order (pinned by a test).
+        &REGISTRY[self as usize]
+    }
 
     /// The stable code string (`OPT001` …).
     pub fn code(self) -> &'static str {
-        match self {
-            DiagCode::Cycle => "OPT001",
-            DiagCode::StreamFifoInversion => "OPT002",
-            DiagCode::CollectiveOrderMismatch => "OPT003",
-            DiagCode::MemoryOverBudget => "OPT004",
-            DiagCode::BubbleInsertOverlap => "OPT005",
-            DiagCode::OrphanTask => "OPT006",
-            DiagCode::MissingCheckpoint => "OPT007",
-            DiagCode::FillClaimOverlap => "OPT008",
-        }
+        self.spec().id
     }
 
     /// The kebab-case lint name.
     pub fn name(self) -> &'static str {
-        match self {
-            DiagCode::Cycle => "cycle",
-            DiagCode::StreamFifoInversion => "stream-fifo-inversion",
-            DiagCode::CollectiveOrderMismatch => "collective-order-mismatch",
-            DiagCode::MemoryOverBudget => "memory-over-budget",
-            DiagCode::BubbleInsertOverlap => "bubble-insert-overlap",
-            DiagCode::OrphanTask => "orphan-task",
-            DiagCode::MissingCheckpoint => "missing-durable-checkpoint",
-            DiagCode::FillClaimOverlap => "fill-claim-overlap",
-        }
+        self.spec().slug
     }
 
-    /// The severity this pass reports at. Orphan tasks and missing durable
-    /// checkpoints are suspicious but harmless to execution, so they warn;
-    /// everything else is an error.
+    /// The severity this pass reports at. Orphan tasks, missing durable
+    /// checkpoints, and symmetry demotions are suspicious but harmless to
+    /// execution, so they warn; everything else is an error.
     pub fn default_severity(self) -> Severity {
-        match self {
-            DiagCode::OrphanTask | DiagCode::MissingCheckpoint => Severity::Warning,
-            _ => Severity::Error,
-        }
+        self.spec().severity
+    }
+
+    /// Where this diagnostic is documented.
+    pub fn docs(self) -> &'static str {
+        self.spec().docs
     }
 }
 
@@ -303,9 +399,49 @@ mod tests {
         let codes: Vec<&str> = DiagCode::ALL.iter().map(|c| c.code()).collect();
         assert_eq!(
             codes,
-            vec!["OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006", "OPT007", "OPT008"]
+            vec![
+                "OPT001", "OPT002", "OPT003", "OPT004", "OPT005", "OPT006", "OPT007", "OPT008",
+                "OPT009", "OPT010"
+            ]
         );
         assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn registry_matches_declaration_order() {
+        // `DiagCode::spec` indexes the registry by discriminant; this is the
+        // test that licenses it.
+        assert_eq!(REGISTRY.len(), DiagCode::ALL.len());
+        for (i, (spec, &code)) in REGISTRY.iter().zip(DiagCode::ALL.iter()).enumerate() {
+            assert_eq!(spec.code, code, "registry row {i} out of order");
+            assert_eq!(code as usize, i, "variant {code} declared out of order");
+            assert_eq!(spec.id, format!("OPT{:03}", i + 1));
+            assert_eq!(code.default_severity(), spec.severity);
+            assert!(!code.docs().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_is_the_single_source_of_truth_for_docs() {
+        // The crate-doc table in lib.rs and the DESIGN.md table must carry
+        // one row per registry entry — the registry is authoritative, the
+        // rendered docs merely mirror it.
+        let lib_src = include_str!("lib.rs");
+        let design = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
+        for spec in &REGISTRY {
+            assert!(
+                lib_src.contains(&format!("| {} | `{}`", spec.id, spec.slug)),
+                "lib.rs crate-doc table is missing {} `{}`",
+                spec.id,
+                spec.slug
+            );
+            assert!(
+                design.contains(spec.id) && design.contains(spec.slug),
+                "DESIGN.md is missing {} `{}`",
+                spec.id,
+                spec.slug
+            );
+        }
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct SimResult {
 }
 
 impl SimResult {
+    /// Assembles a result from precomputed spans — the constructor used by
+    /// the folded engine (`crate::fold`) and by drivers that project a
+    /// cluster-scale result down to one representative pipeline. `spans`
+    /// must be indexed by [`TaskId`].
+    pub fn from_parts(spans: Vec<TaskSpan>, makespan: TimeNs) -> SimResult {
+        SimResult { spans, makespan }
+    }
+
     /// Per-task execution spans, indexed by [`TaskId`].
     pub fn spans(&self) -> &[TaskSpan] {
         &self.spans
@@ -273,6 +281,7 @@ mod tests {
         let err = simulate(&g).unwrap_err();
         match err {
             SimError::Deadlock { stuck, .. } => assert_eq!(stuck.len(), 4),
+            other => panic!("expected deadlock, got {other}"),
         }
     }
 

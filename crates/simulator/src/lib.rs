@@ -28,6 +28,7 @@ pub mod analysis;
 pub mod bubble;
 pub mod engine;
 pub mod error;
+pub mod fold;
 pub mod task;
 
 pub use analysis::{
@@ -36,4 +37,5 @@ pub use analysis::{
 pub use bubble::{all_bubbles, device_bubbles, Bubble, BubbleBreakdown, BubbleKind};
 pub use engine::{simulate, SimResult, TaskSpan};
 pub use error::SimError;
+pub use fold::{simulate_folded, FoldPlan, FoldStats};
 pub use task::{Stream, Task, TaskGraph, TaskId, TaskKind};
