@@ -1,0 +1,71 @@
+//! Plan-service benchmark: cache hits vs cold search, warm-started search
+//! pruning, incremental reuse, and sustained what-if query throughput.
+//!
+//! `--smoke` is the CI gate: the cache hit must beat the cold search by
+//! more than 20x while staying bit-identical; the warm-started search must
+//! sweep
+//! strictly fewer work items *and* candidates than the cold sweep (the
+//! lower bound must really prune) and return the identical winner; and the
+//! zero-search incremental reuse must equal a full re-plan on a
+//! degraded-link delta. `--write` regenerates `BENCH_plansvc.json` at the
+//! repo root.
+
+use optimus_bench::experiments::plansvc;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+    let (report, study) = plansvc::run(smoke);
+    println!("{report}");
+
+    // Identity invariants hold in every mode — the service never serves an
+    // answer a cold engine run would not produce.
+    assert!(study.hit_identical, "cache hit diverged from a fresh run");
+    assert!(
+        study.warm.identical,
+        "warm-started answer diverged from cold"
+    );
+    assert!(
+        study.inc_identical,
+        "incremental reuse diverged from full re-plan"
+    );
+    assert_eq!(
+        study.inc_evaluated, 0,
+        "incremental reuse must do zero search"
+    );
+
+    if smoke {
+        assert!(
+            study.hit_speedup > plansvc::SMOKE_HIT_SPEEDUP,
+            "cache hit must beat cold search by >{:.0}x, got {:.1}x \
+             ({:.2} ms cold vs {:.1} us hit)",
+            plansvc::SMOKE_HIT_SPEEDUP,
+            study.hit_speedup,
+            study.cold_ms,
+            study.hit_us
+        );
+        assert!(
+            study.warm.warm_items < study.warm.cold_items,
+            "warm start must sweep strictly fewer work items than cold \
+             ({} vs {})",
+            study.warm.warm_items,
+            study.warm.cold_items
+        );
+        assert!(
+            study.warm.pruned >= 1,
+            "warm start must prune at least one candidate, pruned {} of {}",
+            study.warm.pruned,
+            study.warm.candidates
+        );
+        assert!(
+            study.batch_all_hits,
+            "warmed batch must be served from cache"
+        );
+        eprintln!("smoke assertions passed");
+    }
+    if write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plansvc.json");
+        std::fs::write(path, study.to_json()).expect("write BENCH_plansvc.json");
+        eprintln!("wrote {path}");
+    }
+}

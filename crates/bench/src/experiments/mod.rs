@@ -15,6 +15,7 @@ pub mod fig3;
 pub mod fill;
 pub mod lint_sweep;
 pub mod planner_scaling;
+pub mod plansvc;
 pub mod recovery;
 pub mod resilience;
 pub mod symmetry;

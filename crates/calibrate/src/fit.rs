@@ -29,7 +29,9 @@
 //! planner's `search_workers` setting.
 
 use optimus_baselines::common::SystemContext;
-use optimus_cluster::{ClusterTopology, GpuProfile, KernelClass, LinkClass, LinkProfile};
+use optimus_cluster::{
+    ClusterTopology, Fingerprint, FpHasher, GpuProfile, KernelClass, LinkClass, LinkProfile,
+};
 use optimus_json::Json;
 use optimus_trace::TextTable;
 
@@ -90,6 +92,19 @@ impl Calibration {
     /// and the adaptive re-planning loop.
     pub fn context(&self, base: &SystemContext) -> SystemContext {
         base.with_topology(self.topology(&base.topo))
+    }
+
+    /// Canonical content fingerprint of the fitted parameter vector: names
+    /// and exact f64 bit patterns in the stable golden order. Two
+    /// calibrations with the same fingerprint price every kernel and link
+    /// identically, so a plan cached under one is valid under the other.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new("calibration/v1");
+        h.fold_u64(self.params.len() as u64);
+        for p in &self.params {
+            h.fold_str(p.name).fold_f64(p.value);
+        }
+        h.finish()
     }
 
     /// The parameter vector as `(name, value)` pairs in stable order.
@@ -481,6 +496,11 @@ mod tests {
         for (x, y) in a.param_vector().iter().zip(b.param_vector()) {
             assert_eq!(x.1.to_bits(), y.1.to_bits());
         }
+        // The fingerprint is as exact as the golden text.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.params[0].value += 1e-12;
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use optimus_baselines::common::SystemContext;
-use optimus_cluster::{DurNs, LinkProfile};
+use optimus_cluster::{DurNs, Fingerprint, FpHasher, LinkProfile};
 use optimus_core::{lowered_schedule, run_optimus, schedule_insert_set, OptimusConfig, OptimusRun};
 use optimus_lint::InsertSet;
 use optimus_modeling::{MllmConfig, Workload};
@@ -91,7 +91,7 @@ pub struct ChaosHarness {
     params: RecoveryParams,
     settings: ChaosSettings,
     mb_offsets: Vec<u32>,
-    replan_cache: Mutex<BTreeMap<String, Option<Arc<ReplanArtifact>>>>,
+    replan_cache: Mutex<BTreeMap<Fingerprint, Option<Arc<ReplanArtifact>>>>,
 }
 
 impl ChaosHarness {
@@ -226,17 +226,17 @@ impl ChaosHarness {
     /// magnitude (the planner folds the worst slowdown cluster-wide, so
     /// the device is irrelevant), link degradation, jitter margin, and
     /// microbatch skew. Stalls, failures, and the seed only enter the
-    /// residual injection, which is re-run per probe.
-    fn replan_key(p: &Perturbation) -> String {
-        format!(
-            "s{}|{}:{}:{}|j{}|k{}",
-            p.straggler_pct,
-            p.link_class.label(),
-            p.link_bw_drop_pct,
-            p.link_lat_pct,
-            p.jitter_pct,
-            p.mb_skew_pct
-        )
+    /// residual injection, which is re-run per probe. Keyed by the shared
+    /// canonical [`Fingerprint`] rather than a bespoke format string.
+    fn replan_key(p: &Perturbation) -> Fingerprint {
+        FpHasher::new("chaos-replan/v1")
+            .fold_u32(p.straggler_pct)
+            .fold_str(p.link_class.label())
+            .fold_u32(p.link_bw_drop_pct)
+            .fold_u32(p.link_lat_pct)
+            .fold_u32(p.jitter_pct)
+            .fold_u32(p.mb_skew_pct)
+            .finish()
     }
 
     /// True when some knob changes what the re-planner would do.

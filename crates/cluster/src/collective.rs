@@ -11,6 +11,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use crate::fingerprint::{Fingerprint, FpHasher};
 use crate::group::ProcessGroup;
 use crate::time::DurNs;
 use crate::topology::{ClusterTopology, DeviceId, LinkClass};
@@ -28,9 +29,38 @@ pub enum CollectiveKind {
     Broadcast,
 }
 
-/// Memo key for one ring-collective query: the α–β cost depends only on
-/// these four values, not on the concrete rank list.
-type CollectiveKey = (CollectiveKind, u32, u64, LinkClass);
+impl CollectiveKind {
+    /// Stable short label, used in fingerprints.
+    pub fn label(self) -> &'static str {
+        match self {
+            CollectiveKind::AllGather => "allgather",
+            CollectiveKind::ReduceScatter => "reducescatter",
+            CollectiveKind::AllReduce => "allreduce",
+            CollectiveKind::Broadcast => "broadcast",
+        }
+    }
+}
+
+/// Memo key for one ring-collective query: the canonical fingerprint of the
+/// four values the α–β cost depends on (kind, group size, payload,
+/// bottleneck link class) — not the concrete rank list. Keying on the shared
+/// [`Fingerprint`] type keeps this memo on the same canonical hashing as the
+/// plan cache instead of a bespoke tuple encoding.
+type CollectiveKey = Fingerprint;
+
+fn collective_key(
+    kind: CollectiveKind,
+    group_size: u32,
+    bytes: u64,
+    class: LinkClass,
+) -> Fingerprint {
+    FpHasher::new("collective-query/v1")
+        .fold_str(kind.label())
+        .fold_u32(group_size)
+        .fold_u64(bytes)
+        .fold_str(class.label())
+        .finish()
+}
 
 /// Hit/miss counters of the collective cost cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -178,7 +208,7 @@ impl CommCostModel {
         }
         let class = group.bottleneck_link(&self.topo);
         self.cache
-            .get_or_insert_with((kind, group.size(), bytes, class), || {
+            .get_or_insert_with(collective_key(kind, group.size(), bytes, class), || {
                 self.compute_collective_time(kind, bytes, group.size(), class)
             })
     }

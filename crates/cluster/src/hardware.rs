@@ -5,6 +5,7 @@
 //! counts and byte counts against these ceilings, scaled by per-kernel-class
 //! efficiency factors that reflect how far real kernels sit from roofline.
 
+use crate::fingerprint::FpHasher;
 use crate::time::DurNs;
 
 /// The class of a GPU kernel, which selects its efficiency factor.
@@ -70,6 +71,20 @@ impl GpuProfile {
             membw_efficiency: 0.75,
             kernel_overhead: DurNs(4_000),
         }
+    }
+
+    /// Folds every roofline-visible field into a fingerprint hasher in
+    /// canonical order (part of [`crate::ClusterTopology::fingerprint`]).
+    pub fn fold_into(&self, h: &mut FpHasher) {
+        h.fold_str("gpu-profile/v1")
+            .fold_str(self.name)
+            .fold_f64(self.peak_flops)
+            .fold_f64(self.hbm_bandwidth)
+            .fold_u64(self.hbm_capacity)
+            .fold_f64(self.matmul_efficiency)
+            .fold_f64(self.attention_efficiency)
+            .fold_f64(self.membw_efficiency)
+            .fold_u64(self.kernel_overhead.0);
     }
 
     /// Effective FLOP/s for a kernel class.

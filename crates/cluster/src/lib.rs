@@ -27,6 +27,7 @@
 
 pub mod collective;
 pub mod error;
+pub mod fingerprint;
 pub mod group;
 pub mod hardware;
 pub mod time;
@@ -34,6 +35,7 @@ pub mod topology;
 
 pub use collective::{CollectiveKind, CommCostModel};
 pub use error::ClusterError;
+pub use fingerprint::{Fingerprint, FpHasher};
 pub use group::ProcessGroup;
 pub use hardware::{GpuProfile, KernelClass};
 pub use time::{DurNs, TimeNs};

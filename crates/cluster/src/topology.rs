@@ -3,6 +3,7 @@
 //! connection is a high-bandwidth RDMA network").
 
 use crate::error::ClusterError;
+use crate::fingerprint::{Fingerprint, FpHasher};
 use crate::hardware::GpuProfile;
 
 /// Global identifier of one GPU in the cluster.
@@ -27,6 +28,18 @@ pub enum LinkClass {
     Rdma,
     /// GPU ↔ durable checkpoint storage (parallel filesystem / object store).
     Storage,
+}
+
+impl LinkClass {
+    /// Stable short label, used in fingerprints and human-readable keys.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkClass::Loopback => "loopback",
+            LinkClass::NvLink => "nvlink",
+            LinkClass::Rdma => "rdma",
+            LinkClass::Storage => "storage",
+        }
+    }
 }
 
 /// Bandwidth/latency description of one link class.
@@ -185,6 +198,42 @@ impl ClusterTopology {
         t
     }
 
+    /// Canonical content fingerprint of this topology: GPU profile, node
+    /// hierarchy, and all three link-class profiles. Two topologies with the
+    /// same fingerprint price every collective and transfer identically, so
+    /// the plan cache may key on it.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new("cluster-topology/v1");
+        self.gpu.fold_into(&mut h);
+        h.fold_u32(self.num_nodes).fold_u32(self.gpus_per_node);
+        for (class, p) in [
+            (LinkClass::NvLink, self.nvlink),
+            (LinkClass::Rdma, self.rdma),
+            (LinkClass::Storage, self.storage),
+        ] {
+            h.fold_str(class.label())
+                .fold_f64(p.bandwidth)
+                .fold_f64(p.latency);
+        }
+        h.finish()
+    }
+
+    /// True when the plan search can read the profile of `class` for this
+    /// topology. `Loopback` is always free and `Storage` is never consulted
+    /// by planning (no [`crate::ProcessGroup`] bottlenecks on it; only the
+    /// checkpoint path prices it), and `Rdma` is reachable only when the
+    /// cluster spans more than one node — on a single node every peer pair
+    /// classifies as NVLink and point-to-point costs take the intra-node
+    /// path. A delta confined to an unread class provably cannot change the
+    /// plan, which is what licenses zero-search incremental re-planning.
+    pub fn planning_reads(&self, class: LinkClass) -> bool {
+        match class {
+            LinkClass::Loopback | LinkClass::Storage => false,
+            LinkClass::NvLink => true,
+            LinkClass::Rdma => self.num_nodes > 1,
+        }
+    }
+
     /// Validates that a device id belongs to this cluster.
     pub fn check_device(&self, dev: DeviceId) -> Result<(), ClusterError> {
         if dev.0 < self.num_gpus() {
@@ -271,6 +320,36 @@ mod tests {
         assert_eq!(t.with_storage(slow).storage, slow);
         // Peer link classification never yields the storage class.
         assert_ne!(t.link_class(DeviceId(0), DeviceId(1)), LinkClass::Storage);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = ClusterTopology::hopper_cluster(16).unwrap();
+        let b = ClusterTopology::hopper_cluster(16).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Any planning-visible change moves the hash.
+        let wider = ClusterTopology::hopper_cluster(32).unwrap();
+        assert_ne!(a.fingerprint(), wider.fingerprint());
+        let sick = a.with_link_profile(LinkClass::Rdma, rdma_default().degraded(0.5, 1.0));
+        assert_ne!(a.fingerprint(), sick.fingerprint());
+        let slow_store = a.with_storage(storage_default().degraded(0.5, 1.0));
+        assert_ne!(a.fingerprint(), slow_store.fingerprint());
+        let ampere = ClusterTopology::ampere_node(16).unwrap();
+        assert_ne!(a.fingerprint(), ampere.fingerprint());
+    }
+
+    #[test]
+    fn planning_read_set() {
+        let single = ClusterTopology::hopper_cluster(8).unwrap();
+        assert!(single.planning_reads(LinkClass::NvLink));
+        assert!(
+            !single.planning_reads(LinkClass::Rdma),
+            "one node: all P2P is NVLink"
+        );
+        assert!(!single.planning_reads(LinkClass::Storage));
+        assert!(!single.planning_reads(LinkClass::Loopback));
+        let multi = ClusterTopology::hopper_cluster(16).unwrap();
+        assert!(multi.planning_reads(LinkClass::Rdma));
     }
 
     #[test]

@@ -59,8 +59,10 @@ pub use lint::{
     schedule_dep_points, schedule_insert_set, LintMode,
 };
 pub use memory::{colocated_model_state_bytes, colocation_overhead_bytes, optimus_memory};
-pub use optimus::{run_optimus, OptimusConfig, OptimusRun};
-pub use persist::SavedSchedule;
+pub use optimus::{
+    run_optimus, run_optimus_hinted, run_optimus_seeded, OptimusConfig, OptimusRun, WarmStart,
+};
+pub use persist::{SavedSchedule, FORMAT_VERSION, MIN_FORMAT_VERSION};
 pub use planner::{
     plan_chunks, plan_model, resolve_workers, search_plan_chunks, search_plans, CandidateVerdict,
     EncoderCandidate, PlanSearch, PlannerOutput, SearchChunk, SearchStats, WorkerTiming,

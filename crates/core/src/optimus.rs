@@ -9,10 +9,10 @@ use crate::encoder::EncoderWork;
 use crate::error::OptimusError;
 use crate::memory::optimus_memory;
 use crate::planner::{
-    plan_chunks, plan_model, search_plan_chunks, CandidateVerdict, EncoderCandidate, PlannerOutput,
-    SearchChunk, SearchStats,
+    plan_chunks, plan_model, search_plan_chunks, CandidateVerdict, EncoderCandidate, PlanSearch,
+    PlannerOutput, SearchChunk, SearchStats, WorkerTiming,
 };
-use crate::profile::LlmProfile;
+use crate::profile::{DeviceProfile, LlmProfile, Ts};
 use crate::scheduler::{BubbleScheduler, ScheduleOutcome};
 
 /// Optimus configuration knobs.
@@ -96,6 +96,28 @@ impl OptimusConfig {
     }
 }
 
+/// Accounting for a warm-started plan search (see [`run_optimus_hinted`]).
+///
+/// Warm start changes *how much* of the candidate space is swept, never the
+/// answer: pruning uses a work-conservation lower bound that is strict, so
+/// the merged winner is bit-identical to a cold sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmStart {
+    /// The encoder plans the search was seeded with, in hint order.
+    pub hint_plans: Vec<ParallelPlan>,
+    /// Whether any seed produced a feasible incumbent (when none did, the
+    /// search degenerates to the full cold sweep).
+    pub hint_feasible: bool,
+    /// Candidates pruned by the lower bound against the incumbent.
+    pub pruned_by_bound: usize,
+    /// Non-hint candidates that survived the bound and were fully swept.
+    pub survivors: usize,
+    /// Work items actually evaluated across both phases.
+    pub work_items_evaluated: usize,
+    /// Work items a cold sweep would have evaluated.
+    pub work_items_total: usize,
+}
+
 /// Everything produced by one Optimus planning + scheduling run.
 #[derive(Debug, Clone)]
 pub struct OptimusRun {
@@ -119,9 +141,243 @@ pub struct OptimusRun {
     pub candidates_evaluated: usize,
     /// Timing and counters from the parallel plan search.
     pub search: SearchStats,
+    /// Warm-start accounting when the run was seeded via
+    /// [`run_optimus_hinted`]; `None` for a cold search.
+    pub warm: Option<WarmStart>,
     /// Static-analysis report for the chosen schedule (empty when the lint
     /// mode is `Off`).
     pub lint: optimus_lint::LintReport,
+}
+
+/// Per-device compute-usable idle capacity inside `[0, t]`: the leading
+/// region, every interior bubble, and the trailing region, each clipped to
+/// the window. Comm windows are excluded, matching what the scheduler lets
+/// encoder *compute* kernels occupy.
+fn device_idle_before(d: &DeviceProfile, makespan: Ts, t: Ts) -> Ts {
+    let t = t.clamp(0, makespan);
+    let mut idle = t.min(d.leading_end).max(0);
+    for iv in &d.interior {
+        idle += (iv.end.min(t) - iv.start).max(0).min(iv.len());
+    }
+    idle + (t - d.trailing_start).max(0)
+}
+
+/// Total compute-usable idle of a device across the whole makespan.
+fn device_idle_total(d: &DeviceProfile, makespan: Ts) -> Ts {
+    d.leading_end + (makespan - d.trailing_start) + d.interior_capacity()
+}
+
+/// Lower bound on the best step latency any partition of this encoder
+/// candidate can achieve, or `None` when no bound applies (the candidate is
+/// then swept normally). Three families of constraints are combined; every
+/// feasible schedule satisfies all of them, so a candidate whose bound
+/// *strictly* exceeds a feasible incumbent latency can never beat it under
+/// the search's total order (latency first) and is safe to skip.
+///
+/// Every outcome the scheduler emits has `latency = prefix + makespan +
+/// suffix` and passes `CheckEncLLMDep`: the i-th smallest encoder-forward
+/// finish is at most the i-th smallest forward point `F_(i)`, and the i-th
+/// smallest encoder-backward start is at least the i-th smallest backward
+/// point `B_(i)`. Writing `m` for encoder pipelines per LLM pipeline and
+/// using the sorted microbatch scales `s_(0) <= ... <= s_(n-1)`:
+///
+/// 1. *Work conservation.* Some pipeline owns `q = ceil(n_mb / m)`
+///    microbatches; its heaviest stage executes their compute inside
+///    `prefix + suffix` plus that device's total idle, so
+///    `prefix + suffix >= W_heavy(q) - max_d idle_d`.
+/// 2. *Forward windows.* By `F_(i)`, `i + 1` forwards are complete, so some
+///    pipeline completed `c = ceil((i+1)/m)` of them, and its heaviest
+///    forward stage did at least the `c` smallest-scaled amounts of that
+///    work before `F_(i)` — inside `prefix + max_d idle_d([0, F_(i)])`.
+///    Also, any `i + 1` distinct microbatches include one with scale at
+///    least `s_(i)`, and that microbatch's forward is a serial chain
+///    through every stage, started no earlier than `-prefix`:
+///    `prefix >= chain_fwd * s_(i) - F_(i)`. The chain includes *all* of
+///    the microbatch's kernels — both placement paths (the coarse front
+///    block and kernel packing) strictly serialise one microbatch's
+///    compute and comm kernels and pay the P2P margin between stages — so
+///    TP-heavy candidates pay their collective traffic here.
+/// 3. *Backward windows.* At least `n_mb - i` backwards start at or after
+///    `B_(i)`; the mirrored counting gives
+///    `suffix >= W_bwd(ceil((n_mb-i)/m)) - max_d idle_d([B_(i), makespan])`
+///    and `suffix >= B_(i) + chain_bwd * s_(n-1-i) - makespan`.
+///
+/// Each inequality is conservative: the capacity terms drop comm kernels
+/// from the work side (they may overlap LLM compute in comm windows), the
+/// most generous device supplies the idle side, and each microbatch's
+/// rounded kernel sum is under-counted by its kernel count (placed kernels
+/// round to the nearest ns, so each may round down by at most half a ns).
+fn candidate_latency_bound(
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+    profile: &LlmProfile,
+    cand: &EncoderCandidate,
+) -> Option<Ts> {
+    let mb = u64::from(w.microbatch_size);
+    let work = if cfg.frozen_encoder {
+        EncoderWork::build_frozen(&w.mllm, &cand.plan, mb, ctx).ok()?
+    } else {
+        EncoderWork::build(&w.mllm, &cand.plan, mb, ctx).ok()?
+    };
+    let n_mb = profile.n_microbatches() as usize;
+    let m = cand.layout.pipelines_per_llm_pipeline() as usize;
+    if m == 0 || n_mb < m {
+        return None; // the sweep itself reports the infeasibility
+    }
+    // Per-stage compute aggregates (comm excluded — it overlaps LLM compute
+    // in comm windows) with kernel counts for the rounding allowance.
+    let stage = |fwd: bool| {
+        work.stages.iter().map(move |s| {
+            let ks = if fwd { &s.fwd } else { &s.bwd };
+            (
+                if fwd {
+                    s.fwd_compute()
+                } else {
+                    s.bwd_compute()
+                },
+                ks.iter().filter(|k| !k.comm).count() as Ts,
+            )
+        })
+    };
+    let (heavy, heavy_kernels) = work
+        .stages
+        .iter()
+        .map(|s| {
+            (
+                s.fwd_compute() + s.bwd_compute(),
+                s.fwd.iter().chain(&s.bwd).filter(|k| !k.comm).count() as Ts,
+            )
+        })
+        .max_by_key(|&(c, _)| c)?;
+    if heavy <= 0 {
+        return None;
+    }
+    let (heavy_f, heavy_f_k) = stage(true).max_by_key(|&(c, _)| c)?;
+    let (heavy_b, heavy_b_k) = stage(false).max_by_key(|&(c, _)| c)?;
+    // Serial chains carry every kernel (comm included) plus one P2P hop per
+    // stage boundary; see the doc comment for why this is sound.
+    let serial = |fwd: bool| {
+        work.stages
+            .iter()
+            .map(|s| {
+                let ks = if fwd { &s.fwd } else { &s.bwd };
+                (ks.iter().map(|k| k.dur).sum::<Ts>(), ks.len() as Ts)
+            })
+            .fold((0, 0), |a, b| (a.0 + b.0, a.1 + b.1))
+    };
+    let p2p_hops = (work.stages.len() as Ts - 1) * profile.p2p_margin.0 as Ts;
+    let (chain_f, chain_f_k) = serial(true);
+    let (chain_b, chain_b_k) = serial(false);
+    let mut scales: Vec<f64> = match &cfg.mb_scales {
+        Some(sc) if sc.len() == n_mb => sc.clone(),
+        Some(_) => return None,
+        None => vec![1.0; n_mb],
+    };
+    scales.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // One microbatch's under-counted contribution at a given scale.
+    let floor_work =
+        |dur: Ts, s: f64, kernels: Ts| (((dur as f64) * s).floor() as Ts - kernels).max(0);
+    // Prefix sums of the k smallest-scaled contributions per family.
+    let cum = |dur: Ts, kernels: Ts| {
+        let mut acc = Vec::with_capacity(n_mb + 1);
+        acc.push(0);
+        for s in &scales {
+            acc.push(acc.last()? + floor_work(dur, *s, kernels));
+        }
+        Some(acc)
+    };
+    let w_heavy = cum(heavy, heavy_kernels)?;
+    let w_fwd = cum(heavy_f, heavy_f_k)?;
+    let w_bwd = cum(heavy_b, heavy_b_k)?;
+    let makespan = profile.makespan;
+    let idle_before = |t: Ts| {
+        profile
+            .devices
+            .iter()
+            .map(|d| device_idle_before(d, makespan, t))
+            .max()
+            .unwrap_or(0)
+    };
+    let idle_after = |t: Ts| {
+        profile
+            .devices
+            .iter()
+            .map(|d| device_idle_total(d, makespan) - device_idle_before(d, makespan, t))
+            .max()
+            .unwrap_or(0)
+    };
+    // (1) Work conservation across the whole window.
+    let i_max: Ts = profile
+        .devices
+        .iter()
+        .map(|d| device_idle_total(d, makespan))
+        .max()?;
+    let global = (w_heavy[n_mb.div_ceil(m)] - i_max).max(0);
+    // (2)/(3) Dependency windows, when the profile exposes a point per
+    // microbatch (always true for the schedules the engine builds).
+    let (mut prefix_lb, mut suffix_lb) = (0, 0);
+    if profile.f_points.len() == n_mb && profile.b_points.len() == n_mb {
+        let mut f_sorted = profile.f_points.clone();
+        f_sorted.sort_unstable();
+        let mut b_sorted = profile.b_points.clone();
+        b_sorted.sort_unstable();
+        for i in 0..n_mb {
+            let c = (i + 1).div_ceil(m);
+            prefix_lb = prefix_lb
+                .max(w_fwd[c] - idle_before(f_sorted[i]))
+                .max(floor_work(chain_f, scales[i], chain_f_k) + p2p_hops - f_sorted[i]);
+            let c = (n_mb - i).div_ceil(m);
+            suffix_lb = suffix_lb.max(w_bwd[c] - idle_after(b_sorted[i])).max(
+                b_sorted[i] + floor_work(chain_b, scales[n_mb - 1 - i], chain_b_k) + p2p_hops
+                    - makespan,
+            );
+        }
+    }
+    Some(makespan + global.max(prefix_lb + suffix_lb))
+}
+
+/// Merges two disjoint partial sweeps into one [`PlanSearch`], reducing the
+/// incumbents by the same total-order key the engine uses — (latency, plan
+/// tuple, candidate, chunk start) — so the merged winner equals what one
+/// sweep over the union of both chunk sets would have returned.
+fn merge_searches(candidates: &[EncoderCandidate], a: PlanSearch, b: PlanSearch) -> PlanSearch {
+    let full_key = |s: &PlanSearch| {
+        let (c, o) = s.best.as_ref()?;
+        let (_, lo) = s.best_chunk?;
+        let p = candidates[*c].plan;
+        Some((o.latency, p.pp, p.tp, p.dp, p.vpp, *c, lo))
+    };
+    let (winner, loser) = match (full_key(&a), full_key(&b)) {
+        (Some(ka), Some(kb)) if kb < ka => (b, a),
+        (None, Some(_)) => (b, a),
+        _ => (a, b),
+    };
+    let mut per_worker = winner.stats.per_worker.clone();
+    for t in &loser.stats.per_worker {
+        match per_worker.iter_mut().find(|p| p.worker == t.worker) {
+            Some(p) => {
+                p.candidates += t.candidates;
+                p.busy += t.busy;
+            }
+            None => per_worker.push(*t),
+        }
+    }
+    per_worker.sort_by_key(|t| t.worker);
+    let per_worker: Vec<WorkerTiming> = per_worker;
+    PlanSearch {
+        best: winner.best,
+        best_chunk: winner.best_chunk,
+        stats: SearchStats {
+            workers: winner.stats.workers.max(loser.stats.workers),
+            candidates: candidates.len(),
+            work_items: winner.stats.work_items + loser.stats.work_items,
+            evaluated: winner.stats.evaluated + loser.stats.evaluated,
+            feasible: winner.stats.feasible + loser.stats.feasible,
+            wall: winner.stats.wall + loser.stats.wall,
+            per_worker,
+        },
+    }
 }
 
 /// Runs Optimus end to end (Algorithm 1).
@@ -129,6 +385,42 @@ pub fn run_optimus(
     w: &Workload,
     cfg: &OptimusConfig,
     ctx: &SystemContext,
+) -> Result<OptimusRun, OptimusError> {
+    run_optimus_hinted(w, cfg, ctx, None)
+}
+
+/// Runs Optimus end to end, optionally warm-starting the candidate search
+/// from a previously winning encoder plan. Convenience wrapper around
+/// [`run_optimus_seeded`] for the common single-hint case.
+pub fn run_optimus_hinted(
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+    hint: Option<ParallelPlan>,
+) -> Result<OptimusRun, OptimusError> {
+    match hint {
+        Some(h) => run_optimus_seeded(w, cfg, ctx, &[h]),
+        None => run_optimus_seeded(w, cfg, ctx, &[]),
+    }
+}
+
+/// Runs Optimus end to end, warm-starting the candidate search from a set
+/// of previously winning encoder plans (typically the nearest plan-cache
+/// entries for the same model).
+///
+/// With hints, the engine sweeps the hinted candidates' full partition
+/// spaces first; if that yields a feasible incumbent, every other candidate
+/// is screened by [`candidate_latency_bound`] and only the survivors are
+/// swept. The bound prunes strictly-worse candidates only, so the final
+/// answer — winner, outcome, report — is bit-identical to [`run_optimus`];
+/// only the search accounting (`search`, `warm`) differs. Hints that match
+/// no candidate are dropped; when none match, the run falls back to the
+/// cold sweep (and `warm` is `None`).
+pub fn run_optimus_seeded(
+    w: &Workload,
+    cfg: &OptimusConfig,
+    ctx: &SystemContext,
+    hints: &[ParallelPlan],
 ) -> Result<OptimusRun, OptimusError> {
     let planner: PlannerOutput = plan_model(w, &cfg.llm_plan, ctx.topo.gpu.hbm_capacity)?;
     let profile = LlmProfile::build_routed(
@@ -187,7 +479,74 @@ pub fn run_optimus(
                 None => Ok(CandidateVerdict::Infeasible),
             }
         };
-    let search = search_plan_chunks(&planner.candidates, &chunks, cfg.search_workers, eval)?;
+    // Hints that match no candidate are dropped; duplicates keep their
+    // first occurrence so the seeding order stays the caller's.
+    let mut hint_idx: Vec<usize> = Vec::new();
+    for hp in hints {
+        if let Some(i) = planner.candidates.iter().position(|c| c.plan == *hp) {
+            if !hint_idx.contains(&i) {
+                hint_idx.push(i);
+            }
+        }
+    }
+    let (search, warm) = if hint_idx.is_empty() {
+        (
+            search_plan_chunks(&planner.candidates, &chunks, cfg.search_workers, eval)?,
+            None,
+        )
+    } else {
+        // Phase 1: sweep the hinted candidates' full partition spaces —
+        // the winner's neighbourhood — to establish an incumbent.
+        let (hint_chunks, rest): (Vec<SearchChunk>, Vec<SearchChunk>) =
+            chunks.iter().partition(|c| hint_idx.contains(&c.candidate));
+        let phase1 =
+            search_plan_chunks(&planner.candidates, &hint_chunks, cfg.search_workers, eval)?;
+        let incumbent_latency = phase1.best.as_ref().map(|(_, o)| o.latency);
+        // Phase 2: with a feasible incumbent, sweep only the candidates
+        // the lower bound cannot rule out; otherwise sweep everything
+        // (the union of both phases is then exactly the cold sweep).
+        let mut pruned_by_bound = 0usize;
+        let phase2_chunks: Vec<SearchChunk> = match incumbent_latency {
+            None => rest,
+            Some(lat) => {
+                let mut keep = vec![true; planner.candidates.len()];
+                for (i, cand) in planner.candidates.iter().enumerate() {
+                    if hint_idx.contains(&i) {
+                        continue;
+                    }
+                    if let Some(bound) = candidate_latency_bound(w, cfg, ctx, &profile, cand) {
+                        if bound > lat {
+                            keep[i] = false;
+                            pruned_by_bound += 1;
+                        }
+                    }
+                }
+                rest.into_iter().filter(|c| keep[c.candidate]).collect()
+            }
+        };
+        let phase2 = search_plan_chunks(
+            &planner.candidates,
+            &phase2_chunks,
+            cfg.search_workers,
+            eval,
+        )?;
+        let merged = merge_searches(&planner.candidates, phase1, phase2);
+        let warm = WarmStart {
+            hint_plans: hint_idx
+                .iter()
+                .map(|&i| planner.candidates[i].plan)
+                .collect(),
+            hint_feasible: incumbent_latency.is_some(),
+            pruned_by_bound,
+            survivors: planner
+                .candidates
+                .len()
+                .saturating_sub(hint_idx.len() + pruned_by_bound),
+            work_items_evaluated: merged.stats.work_items,
+            work_items_total: chunks.len(),
+        };
+        (merged, Some(warm))
+    };
     let stats = search.stats;
     let (best_idx, outcome) = search.best.ok_or_else(|| {
         OptimusError::Infeasible("no encoder plan produced a feasible schedule".into())
@@ -255,6 +614,7 @@ pub fn run_optimus(
         planner_pruned: planner.pruned,
         candidates_evaluated: stats.evaluated,
         search: stats,
+        warm,
         lint,
     })
 }
@@ -271,7 +631,6 @@ mod tests {
             SystemContext::hopper(8).unwrap(),
         )
     }
-
     #[test]
     fn optimus_beats_megatron_on_small_model() {
         let (w, ctx) = small_ctx();
@@ -321,6 +680,64 @@ mod tests {
         let run = run_optimus(&w, &cfg, &ctx).unwrap();
         assert!(run.report.mfu > 0.0 && run.report.mfu < 1.0);
         assert!(!run.report.oom);
+    }
+
+    #[test]
+    fn hinted_search_matches_cold_bit_identically() {
+        let (w, ctx) = small_ctx();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        let cold = run_optimus(&w, &cfg, &ctx).unwrap();
+        assert!(cold.warm.is_none());
+        // Seeding with the cold winner must reproduce it exactly.
+        let warm = run_optimus_hinted(&w, &cfg, &ctx, Some(cold.enc_plan)).unwrap();
+        assert_eq!(warm.enc_plan, cold.enc_plan);
+        assert_eq!(warm.outcome, cold.outcome);
+        assert_eq!(warm.report.iteration_secs, cold.report.iteration_secs);
+        assert_eq!(warm.search.candidates, cold.search.candidates);
+        let ws = warm.warm.expect("hinted run records warm accounting");
+        assert!(ws.hint_feasible);
+        assert_eq!(ws.hint_plans, vec![cold.enc_plan]);
+        assert!(ws.work_items_evaluated <= ws.work_items_total);
+        assert_eq!(
+            ws.pruned_by_bound + ws.survivors + 1,
+            cold.search.candidates
+        );
+        // Seeding with a non-winning but valid candidate also matches.
+        let other =
+            run_optimus_hinted(&w, &cfg, &ctx, Some(ParallelPlan::new(8, 1, 1).unwrap())).unwrap();
+        assert_eq!(other.enc_plan, cold.enc_plan);
+        assert_eq!(other.outcome, cold.outcome);
+        // Multi-hint seeding: duplicates collapse, unknown plans drop, and
+        // the answer is still bit-identical to cold.
+        let seeded = run_optimus_seeded(
+            &w,
+            &cfg,
+            &ctx,
+            &[
+                cold.enc_plan,
+                ParallelPlan::new(8, 1, 1).unwrap(),
+                cold.enc_plan,
+                ParallelPlan::new(7, 7, 7).unwrap(),
+            ],
+        )
+        .unwrap();
+        assert_eq!(seeded.enc_plan, cold.enc_plan);
+        assert_eq!(seeded.outcome, cold.outcome);
+        let ss = seeded.warm.expect("seeded run records warm accounting");
+        assert_eq!(
+            ss.hint_plans,
+            vec![cold.enc_plan, ParallelPlan::new(8, 1, 1).unwrap()]
+        );
+        assert_eq!(
+            ss.pruned_by_bound + ss.survivors + 2,
+            cold.search.candidates
+        );
+        // A hint matching no candidate falls back to the cold sweep.
+        let bogus = ParallelPlan::new(7, 7, 7).unwrap();
+        let fallback = run_optimus_hinted(&w, &cfg, &ctx, Some(bogus)).unwrap();
+        assert!(fallback.warm.is_none());
+        assert_eq!(fallback.enc_plan, cold.enc_plan);
+        assert_eq!(fallback.outcome, cold.outcome);
     }
 
     #[test]

@@ -22,7 +22,15 @@ use crate::profile::Ts;
 use crate::scheduler::{CoarseBlock, KernelPlacement, ScheduleOutcome};
 
 /// On-disk format version.
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v1 carried only the workload shape (model name, GPU count, batching).
+/// v2 adds content fingerprints (`topology_fp`, `model_fp`, `trace_fp`) so a
+/// plan cache can key entries by *content* rather than by name. v1 files
+/// still load; their fingerprint fields default to empty strings.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest on-disk format version [`SavedSchedule::load`] still accepts.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 fn dir_name(d: Dir) -> &'static str {
     match d {
@@ -205,6 +213,12 @@ pub struct SavedSchedule {
     pub efficiency: f64,
     /// Per-microbatch load scales.
     pub mb_scales: Vec<f64>,
+    /// Cluster-topology content fingerprint (32 hex chars; empty if unknown).
+    pub topology_fp: String,
+    /// Model/config content fingerprint (32 hex chars; empty if unknown).
+    pub model_fp: String,
+    /// Trace/calibration content fingerprint (32 hex chars; empty if unknown).
+    pub trace_fp: String,
     /// Encoder forward finish times.
     ef: Vec<Ts>,
     /// Encoder backward start times.
@@ -231,6 +245,9 @@ impl SavedSchedule {
             suffix_ns: o.suffix,
             efficiency: o.efficiency(),
             mb_scales: o.mb_scales.clone(),
+            topology_fp: String::new(),
+            model_fp: String::new(),
+            trace_fp: String::new(),
             ef: o.ef.clone(),
             eb: o.eb.clone(),
             placements: o
@@ -266,6 +283,22 @@ impl SavedSchedule {
         }
     }
 
+    /// Attaches content fingerprints (hex strings) to the schedule.
+    ///
+    /// Fingerprints are opaque at this layer — the plan-cache keys entries
+    /// by them and re-verifies them on every hit.
+    pub fn with_fingerprints(
+        mut self,
+        topology_fp: String,
+        model_fp: String,
+        trace_fp: String,
+    ) -> SavedSchedule {
+        self.topology_fp = topology_fp;
+        self.model_fp = model_fp;
+        self.trace_fp = trace_fp;
+        self
+    }
+
     fn to_json(&self) -> Json {
         let ts_arr = |v: &[Ts]| Json::Arr(v.iter().map(|&t| ts_json(t)).collect());
         Json::obj(vec![
@@ -288,6 +321,9 @@ impl SavedSchedule {
                 "mb_scales",
                 Json::Arr(self.mb_scales.iter().map(|&s| Json::from(s)).collect()),
             ),
+            ("topology_fp", Json::from(self.topology_fp.as_str())),
+            ("model_fp", Json::from(self.model_fp.as_str())),
+            ("trace_fp", Json::from(self.trace_fp.as_str())),
             ("ef", ts_arr(&self.ef)),
             ("eb", ts_arr(&self.eb)),
             (
@@ -305,8 +341,17 @@ impl SavedSchedule {
         let ts_vec = |v: &Json| -> Result<Vec<Ts>, JsonError> {
             v.as_arr()?.iter().map(|t| t.as_i64()).collect()
         };
+        let version = v.field("version")?.as_u32()?;
+        // Fingerprint fields are mandatory from v2 on; v1 files predate them.
+        let fp = |name: &str| -> Result<String, JsonError> {
+            if version >= 2 {
+                Ok(v.field(name)?.as_str()?.to_string())
+            } else {
+                Ok(String::new())
+            }
+        };
         Ok(SavedSchedule {
-            version: v.field("version")?.as_u32()?,
+            version,
             model: v.field("model")?.as_str()?.to_string(),
             num_gpus: v.field("num_gpus")?.as_u32()?,
             global_batch: v.field("global_batch")?.as_u32()?,
@@ -329,6 +374,9 @@ impl SavedSchedule {
                 .iter()
                 .map(|s| s.as_f64())
                 .collect::<Result<_, _>>()?,
+            topology_fp: fp("topology_fp")?,
+            model_fp: fp("model_fp")?,
+            trace_fp: fp("trace_fp")?,
             ef: ts_vec(v.field("ef")?)?,
             eb: ts_vec(v.field("eb")?)?,
             placements: v
@@ -362,9 +410,9 @@ impl SavedSchedule {
         let doc = Json::parse(&buf).map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
         let saved = SavedSchedule::from_json(&doc)
             .map_err(|e| OptimusError::Setup(format!("parse: {e}")))?;
-        if saved.version != FORMAT_VERSION {
+        if saved.version < MIN_FORMAT_VERSION || saved.version > FORMAT_VERSION {
             return Err(OptimusError::Setup(format!(
-                "schedule format v{} unsupported (expected v{FORMAT_VERSION})",
+                "schedule format v{} unsupported (expected v{MIN_FORMAT_VERSION}..=v{FORMAT_VERSION})",
                 saved.version
             )));
         }
@@ -543,6 +591,49 @@ mod tests {
         let mut buf = Vec::new();
         saved.save(&mut buf).unwrap();
         assert!(SavedSchedule::load(buf.as_slice()).is_err());
+        saved.version = 0;
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        assert!(SavedSchedule::load(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn fingerprints_roundtrip() {
+        let (r, w) = run();
+        let saved = SavedSchedule::capture(&r, &w).with_fingerprints(
+            "00112233445566778899aabbccddeeff".into(),
+            "ffeeddccbbaa99887766554433221100".into(),
+            "0123456789abcdef0123456789abcdef".into(),
+        );
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        let loaded = SavedSchedule::load(buf.as_slice()).unwrap();
+        assert_eq!(loaded, saved);
+        assert_eq!(loaded.topology_fp, "00112233445566778899aabbccddeeff");
+    }
+
+    #[test]
+    fn v1_files_without_fingerprints_still_load() {
+        let (r, w) = run();
+        let mut saved = SavedSchedule::capture(&r, &w);
+        saved.version = 1;
+        let mut buf = Vec::new();
+        saved.save(&mut buf).unwrap();
+        // Rewrite the document to the true v1 shape: no fingerprint fields.
+        let text = String::from_utf8(buf).unwrap();
+        let v1: String = text
+            .lines()
+            .filter(|l| !l.contains("topology_fp") && !l.contains("model_fp"))
+            .filter(|l| !l.contains("trace_fp"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let loaded = SavedSchedule::load(v1.as_bytes()).unwrap();
+        assert_eq!(loaded.version, 1);
+        assert!(loaded.topology_fp.is_empty());
+        assert!(loaded.model_fp.is_empty());
+        assert!(loaded.trace_fp.is_empty());
+        assert_eq!(loaded.latency_ns, saved.latency_ns);
+        assert_eq!(loaded.placements, saved.placements);
     }
 
     #[test]

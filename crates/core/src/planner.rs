@@ -162,6 +162,11 @@ pub struct PlanSearch {
     /// total order (latency, plan tuple, index); `None` when no candidate
     /// was feasible.
     pub best: Option<(usize, ScheduleOutcome)>,
+    /// `(candidate, chunk start)` of the winning work item — the full tail
+    /// of the total-order key. Warm-started search merges two partial
+    /// sweeps by comparing complete keys, which needs the chunk start the
+    /// winner came from.
+    pub best_chunk: Option<(usize, usize)>,
     /// Search accounting.
     pub stats: SearchStats,
 }
@@ -298,6 +303,7 @@ where
         }
     }
     Ok(PlanSearch {
+        best_chunk: best.as_ref().map(|(c, lo, _)| (*c, *lo)),
         best: best.map(|(c, _, o)| (c, o)),
         stats: SearchStats {
             workers,

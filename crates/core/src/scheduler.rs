@@ -76,7 +76,7 @@ pub struct CoarseBlock {
 }
 
 /// A complete bubble schedule for one microbatch partition.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScheduleOutcome {
     /// Microbatches per encoder pipeline.
     pub partition: Vec<u32>,

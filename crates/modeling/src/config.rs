@@ -1,6 +1,8 @@
 //! Transformer model configurations, including every model used in the
 //! paper's evaluation (Appendix A, Tables 8 and 9).
 
+use optimus_cluster::FpHasher;
+
 /// Architecture of one transformer stack (encoder or LLM backbone).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TransformerConfig {
@@ -46,6 +48,21 @@ impl TransformerConfig {
             gated_mlp: false,
             vocab: 0,
         }
+    }
+
+    /// Folds every architecture field into a fingerprint hasher in canonical
+    /// order (part of [`crate::Workload::fingerprint`]).
+    pub fn fold_into(&self, h: &mut FpHasher) {
+        h.fold_str("transformer/v1")
+            .fold_str(&self.name)
+            .fold_u64(self.hidden)
+            .fold_u64(self.layers)
+            .fold_u64(self.ffn_hidden)
+            .fold_u64(self.heads)
+            .fold_u64(self.head_dim)
+            .fold_u64(self.kv_heads)
+            .fold_bool(self.gated_mlp)
+            .fold_u64(self.vocab);
     }
 
     /// Parameter count of the attention block of one layer.

@@ -6,6 +6,7 @@
 //! totals and ignore its FLOPs.
 
 use crate::config::TransformerConfig;
+use optimus_cluster::FpHasher;
 
 /// A complete multimodal LLM: encoders + projectors + LLM backbone.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +48,19 @@ impl MllmConfig {
             llm_seq: 2048,
             encoder_seq: 576,
         }
+    }
+
+    /// Folds the full MLLM assembly into a fingerprint hasher. Encoder order
+    /// is semantic (branch `i` feeds stage slot `i` of the colocation
+    /// layout), so encoders are folded in declaration order.
+    pub fn fold_into(&self, h: &mut FpHasher) {
+        h.fold_str("mllm/v1").fold_str(&self.name);
+        h.fold_u64(self.encoders.len() as u64);
+        for e in &self.encoders {
+            e.fold_into(h);
+        }
+        self.llm.fold_into(h);
+        h.fold_u64(self.llm_seq).fold_u64(self.encoder_seq);
     }
 
     /// Projector parameters for one encoder (a linear map from encoder width

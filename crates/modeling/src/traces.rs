@@ -9,6 +9,7 @@
 //! assumption — so the generator's output is a per-microbatch load scale
 //! vector.
 
+use optimus_cluster::{Fingerprint, FpHasher};
 use optimus_detrand as rand;
 use rand::{RngExt, SeedableRng};
 
@@ -76,6 +77,21 @@ impl TraceConfig {
                 },
             ],
         }
+    }
+
+    /// Canonical content fingerprint of the trace distribution. Tier order
+    /// is semantic (sampling walks cumulative weights in declaration order),
+    /// so tiers are folded in order; reordering tiers genuinely changes
+    /// which multiplier a given random draw lands on.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new("trace-config/v1");
+        h.fold_f64(self.image_sample_ratio)
+            .fold_u32(self.max_images_per_sample)
+            .fold_u64(self.tiers.len() as u64);
+        for t in &self.tiers {
+            h.fold_f64(t.weight).fold_f64(t.token_multiplier);
+        }
+        h.finish()
     }
 
     /// Validates the configuration.
@@ -227,6 +243,26 @@ mod tests {
         let small = cfg.microbatch_scales(64, 1, 5).unwrap();
         let big = cfg.microbatch_scales(64, 16, 5).unwrap();
         assert!(spread(&big) < spread(&small));
+    }
+
+    #[test]
+    fn fingerprint_tracks_distribution() {
+        let a = TraceConfig::llava_style();
+        assert_eq!(a.fingerprint(), TraceConfig::llava_style().fingerprint());
+        assert_ne!(
+            a.fingerprint(),
+            TraceConfig::web_interleaved().fingerprint()
+        );
+        let mut shifted = TraceConfig::llava_style();
+        shifted.image_sample_ratio += 1e-9;
+        assert_ne!(a.fingerprint(), shifted.fingerprint());
+        let mut reordered = TraceConfig::web_interleaved();
+        reordered.tiers.reverse();
+        assert_ne!(
+            TraceConfig::web_interleaved().fingerprint(),
+            reordered.fingerprint(),
+            "tier order is semantic"
+        );
     }
 
     #[test]

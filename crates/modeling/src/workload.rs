@@ -2,6 +2,7 @@
 //! (baselines and Optimus).
 
 use crate::mllm::MllmConfig;
+use optimus_cluster::{Fingerprint, FpHasher};
 
 /// One training job: model + cluster size + batching.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +31,18 @@ impl Workload {
             global_batch,
             microbatch_size,
         }
+    }
+
+    /// Canonical content fingerprint of this workload: the full model
+    /// architecture plus cluster size and batching. Two workloads with the
+    /// same fingerprint present the identical problem to the plan search.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = FpHasher::new("workload/v1");
+        self.mllm.fold_into(&mut h);
+        h.fold_u32(self.num_gpus)
+            .fold_u32(self.global_batch)
+            .fold_u32(self.microbatch_size);
+        h.finish()
     }
 
     /// Microbatches per data-parallel pipeline for a DP degree.
@@ -180,6 +193,23 @@ mod tests {
         assert_eq!(w.microbatches(3), None);
         assert_eq!(w.microbatches(32), None); // fewer samples than ranks
         assert_eq!(w.microbatches(16), Some(1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_model_and_batching() {
+        let a = Workload::new(MllmConfig::model_d(), 512, 256, 2);
+        let b = Workload::new(MllmConfig::model_d(), 512, 256, 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let other_model = Workload::new(MllmConfig::model_c(), 512, 256, 2);
+        assert_ne!(a.fingerprint(), other_model.fingerprint());
+        let other_batch = Workload::new(MllmConfig::model_d(), 512, 256, 1);
+        assert_ne!(a.fingerprint(), other_batch.fingerprint());
+        // Encoder order is semantic for multi-branch models.
+        let mut dual = MllmConfig::dual_enc_22_11();
+        let fwd = Workload::new(dual.clone(), 512, 256, 2).fingerprint();
+        dual.encoders.reverse();
+        let rev = Workload::new(dual, 512, 256, 2).fingerprint();
+        assert_ne!(fwd, rev);
     }
 
     #[test]

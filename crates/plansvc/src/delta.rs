@@ -1,0 +1,267 @@
+//! Plan deltas: the re-planning triggers fault and elasticity handling
+//! generate, expressed as first-class values the service can reason about.
+//!
+//! Each delta rewrites the base `(Workload, OptimusConfig, SystemContext)`
+//! triple into the what-if configuration to plan for. The service exploits
+//! the delta's *structure*: a [`PlanDelta::DegradedLink`] on a class the
+//! planner provably never reads
+//! ([`ClusterTopology::planning_reads`] is `false`) cannot change any
+//! plan, so the cached baseline is reused with zero search.
+
+use optimus_baselines::common::SystemContext;
+use optimus_cluster::{ClusterTopology, LinkClass};
+use optimus_core::OptimusConfig;
+use optimus_faults::{FaultModel, FaultScenario};
+use optimus_modeling::{TraceConfig, Workload};
+use optimus_parallel::ParallelPlan;
+
+use crate::error::PlanSvcError;
+
+/// One what-if query against the plan service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDelta {
+    /// The base configuration, unchanged.
+    Baseline,
+    /// A degraded link class — NVLink lane failures, RDMA congestion, or a
+    /// throttled checkpoint fabric (same parameters as
+    /// [`FaultScenario::DegradedLink`]).
+    DegradedLink {
+        /// The affected link class.
+        class: LinkClass,
+        /// Remaining bandwidth fraction in `(0, 1]`.
+        bandwidth_factor: f64,
+        /// Latency multiplier, `>= 1`.
+        latency_factor: f64,
+    },
+    /// An elastic resize to a new data-parallel width: the LLM plan's `dp`
+    /// is replaced and the cluster shrinks/grows to `dp·pp·tp` GPUs.
+    DpWidth {
+        /// The new data-parallel width, `>= 1`.
+        dp: u32,
+    },
+    /// A data-mixture refresh: per-microbatch encoder load scales are
+    /// re-sampled from `trace` with `seed`.
+    TraceSeed {
+        /// The heterogeneous-data distribution.
+        trace: TraceConfig,
+        /// Sampling seed.
+        seed: u64,
+    },
+}
+
+impl PlanDelta {
+    /// Short human-readable label for reports.
+    pub fn label(&self) -> String {
+        match self {
+            PlanDelta::Baseline => "baseline".into(),
+            PlanDelta::DegradedLink { class, .. } => format!("degraded-{}", class.label()),
+            PlanDelta::DpWidth { dp } => format!("dp-width-{dp}"),
+            PlanDelta::TraceSeed { seed, .. } => format!("trace-seed-{seed}"),
+        }
+    }
+
+    /// Lifts a fault-injection scenario into a plan delta, when the
+    /// scenario calls for re-planning at all. Scenarios the planner
+    /// handles through cost scales or margins (stragglers, jitter, stalls)
+    /// and point-in-time events (fail-stop) return `None`.
+    pub fn from_scenario(s: &FaultScenario) -> Option<PlanDelta> {
+        match *s {
+            FaultScenario::DegradedLink {
+                class,
+                bandwidth_factor,
+                latency_factor,
+            } => Some(PlanDelta::DegradedLink {
+                class,
+                bandwidth_factor,
+                latency_factor,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Whether this delta can change what the planner computes for the
+    /// given base context. `false` is a *proof of reusability*: the delta
+    /// only touches state the planning pipeline never reads, so the cached
+    /// baseline plan is the degraded plan.
+    pub fn planning_visible(&self, ctx: &SystemContext) -> bool {
+        match self {
+            PlanDelta::Baseline => false,
+            PlanDelta::DegradedLink { class, .. } => ctx.topo.planning_reads(*class),
+            PlanDelta::DpWidth { .. } | PlanDelta::TraceSeed { .. } => true,
+        }
+    }
+
+    /// Rewrites the base triple into the configuration this delta asks
+    /// the planner about.
+    pub fn apply(
+        &self,
+        w: &Workload,
+        cfg: &OptimusConfig,
+        ctx: &SystemContext,
+    ) -> Result<(Workload, OptimusConfig, SystemContext), PlanSvcError> {
+        match self {
+            PlanDelta::Baseline => Ok((w.clone(), cfg.clone(), ctx.clone())),
+            PlanDelta::DegradedLink {
+                class,
+                bandwidth_factor,
+                latency_factor,
+            } => {
+                // Route through the faults crate so the degradation prices
+                // exactly like adaptive re-planning does.
+                let model = FaultModel::new(0)
+                    .with(FaultScenario::DegradedLink {
+                        class: *class,
+                        bandwidth_factor: *bandwidth_factor,
+                        latency_factor: *latency_factor,
+                    })
+                    .map_err(|e| PlanSvcError::Delta(e.to_string()))?;
+                let topo = model.degrade_topology(&ctx.topo);
+                Ok((w.clone(), cfg.clone(), ctx.with_topology(topo)))
+            }
+            PlanDelta::DpWidth { dp } => {
+                let plan = cfg.llm_plan;
+                let new_plan = ParallelPlan::with_vpp(*dp, plan.pp, plan.tp, plan.vpp)
+                    .map_err(|e| PlanSvcError::Delta(e.to_string()))?;
+                let num_gpus = dp * plan.pp * plan.tp;
+                let topo = resize_topology(&ctx.topo, num_gpus)?;
+                let mut cfg2 = cfg.clone();
+                cfg2.llm_plan = new_plan;
+                // Heterogeneous scales are per-microbatch; a DP resize
+                // changes the microbatch count, so stale scales must not
+                // leak into the resized problem.
+                if let Some(scales) = &cfg2.mb_scales {
+                    let n_mb = w.microbatches(*dp).ok_or_else(|| {
+                        PlanSvcError::Delta(format!(
+                            "batch {} not divisible by dp {dp}",
+                            w.global_batch
+                        ))
+                    })?;
+                    if scales.len() != n_mb as usize {
+                        return Err(PlanSvcError::Delta(format!(
+                            "mb_scales has {} entries but dp {dp} implies {n_mb} microbatches; \
+                             use PlanDelta::TraceSeed to re-sample",
+                            scales.len()
+                        )));
+                    }
+                }
+                let mut w2 = w.clone();
+                w2.num_gpus = num_gpus;
+                Ok((w2, cfg2, ctx.with_topology(topo)))
+            }
+            PlanDelta::TraceSeed { trace, seed } => {
+                let n_mb = w.microbatches(cfg.llm_plan.dp).ok_or_else(|| {
+                    PlanSvcError::Delta(format!(
+                        "batch {} not divisible by dp {}",
+                        w.global_batch, cfg.llm_plan.dp
+                    ))
+                })?;
+                let scales = trace
+                    .microbatch_scales(n_mb, w.microbatch_size, *seed)
+                    .map_err(PlanSvcError::Delta)?;
+                let mut cfg2 = cfg.clone();
+                cfg2.mb_scales = Some(scales);
+                Ok((w.clone(), cfg2, ctx.clone()))
+            }
+        }
+    }
+}
+
+/// Rebuilds a topology for a new GPU count, preserving the node shape and
+/// link profiles of the base cluster.
+fn resize_topology(topo: &ClusterTopology, num_gpus: u32) -> Result<ClusterTopology, PlanSvcError> {
+    if num_gpus == 0 {
+        return Err(PlanSvcError::Delta("resize to zero GPUs".into()));
+    }
+    let per_node = topo.gpus_per_node.max(1);
+    let mut out = topo.clone();
+    if num_gpus <= per_node {
+        out.num_nodes = 1;
+        out.gpus_per_node = num_gpus;
+    } else {
+        if !num_gpus.is_multiple_of(per_node) {
+            return Err(PlanSvcError::Delta(format!(
+                "{num_gpus} GPUs not a multiple of the {per_node}-GPU node size"
+            )));
+        }
+        out.num_nodes = num_gpus / per_node;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_modeling::MllmConfig;
+
+    fn base() -> (Workload, OptimusConfig, SystemContext) {
+        let w = Workload::new(MllmConfig::small(), 8, 16, 1);
+        let ctx = SystemContext::hopper(8).unwrap();
+        let cfg = OptimusConfig::new(ParallelPlan::new(2, 2, 2).unwrap());
+        (w, cfg, ctx)
+    }
+
+    #[test]
+    fn storage_degradation_is_planning_invisible() {
+        let (w, cfg, ctx) = base();
+        let d = PlanDelta::DegradedLink {
+            class: LinkClass::Storage,
+            bandwidth_factor: 0.25,
+            latency_factor: 4.0,
+        };
+        assert!(!d.planning_visible(&ctx));
+        let (_, _, ctx2) = d.apply(&w, &cfg, &ctx).unwrap();
+        // The topology really did change — only the planner's view of it
+        // is unchanged.
+        assert_ne!(ctx2.topo.storage, ctx.topo.storage);
+        assert_eq!(ctx2.topo.nvlink, ctx.topo.nvlink);
+    }
+
+    #[test]
+    fn nvlink_degradation_is_planning_visible() {
+        let (_, _, ctx) = base();
+        let d = PlanDelta::DegradedLink {
+            class: LinkClass::NvLink,
+            bandwidth_factor: 0.5,
+            latency_factor: 1.0,
+        };
+        assert!(d.planning_visible(&ctx));
+    }
+
+    #[test]
+    fn dp_width_resizes_cluster_and_plan() {
+        let (w, cfg, ctx) = base();
+        let (w2, cfg2, ctx2) = PlanDelta::DpWidth { dp: 1 }.apply(&w, &cfg, &ctx).unwrap();
+        assert_eq!(cfg2.llm_plan.dp, 1);
+        assert_eq!(w2.num_gpus, 4);
+        assert_eq!(ctx2.topo.num_nodes * ctx2.topo.gpus_per_node, 4);
+        assert!(PlanDelta::DpWidth { dp: 0 }.apply(&w, &cfg, &ctx).is_err());
+    }
+
+    #[test]
+    fn trace_seed_sets_scales_deterministically() {
+        let (w, cfg, ctx) = base();
+        let d = PlanDelta::TraceSeed {
+            trace: TraceConfig::llava_style(),
+            seed: 17,
+        };
+        let (_, a, _) = d.apply(&w, &cfg, &ctx).unwrap();
+        let (_, b, _) = d.apply(&w, &cfg, &ctx).unwrap();
+        assert_eq!(a.mb_scales, b.mb_scales);
+        assert_eq!(
+            a.mb_scales.as_ref().map(Vec::len),
+            Some(w.microbatches(cfg.llm_plan.dp).unwrap() as usize)
+        );
+    }
+
+    #[test]
+    fn only_link_scenarios_lift_to_deltas() {
+        let link = FaultScenario::DegradedLink {
+            class: LinkClass::Rdma,
+            bandwidth_factor: 0.5,
+            latency_factor: 2.0,
+        };
+        assert!(PlanDelta::from_scenario(&link).is_some());
+        let jitter = FaultScenario::KernelJitter { eps: 0.05 };
+        assert!(PlanDelta::from_scenario(&jitter).is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! Plan-service error type.
+
+use optimus_core::OptimusError;
+
+/// Everything that can go wrong serving a plan query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanSvcError {
+    /// Cache directory / index / entry I-O or parse failure.
+    Cache(String),
+    /// Delta could not be applied to the base configuration.
+    Delta(String),
+    /// The planning engine failed under the query's configuration.
+    Engine(String),
+    /// A reuse proof failed: the incremental answer disagrees with the
+    /// ground truth (lint errors on the reused schedule, or a cross-check
+    /// full search that does not reproduce it). This is a service bug, not
+    /// a user error — the service refuses to serve the unproven plan.
+    ProofFailed(String),
+}
+
+impl std::fmt::Display for PlanSvcError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanSvcError::Cache(m) => write!(f, "plan cache: {m}"),
+            PlanSvcError::Delta(m) => write!(f, "plan delta: {m}"),
+            PlanSvcError::Engine(m) => write!(f, "planning engine: {m}"),
+            PlanSvcError::ProofFailed(m) => write!(f, "reuse proof failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanSvcError {}
+
+impl From<OptimusError> for PlanSvcError {
+    fn from(e: OptimusError) -> PlanSvcError {
+        PlanSvcError::Engine(e.to_string())
+    }
+}

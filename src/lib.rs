@@ -37,7 +37,12 @@
 //! * [`chaos`] — adversarial search over the perturbation space (faults,
 //!   degradations, stragglers, microbatch skew), scoring plans by regret,
 //!   lint violations, and recovery-ledger exactness, with property-test
-//!   style shrinking into replayable regression fixtures.
+//!   style shrinking into replayable regression fixtures;
+//! * [`plansvc`] — the plan service: a content-addressed plan cache
+//!   (canonical fingerprints, re-verified hits, `SavedSchedule` v2 disk
+//!   tier), warm-started search seeded from the nearest cached winners,
+//!   provable incremental re-planning for planning-invisible deltas, and
+//!   a batched what-if query API over the deterministic worker pool.
 //!
 //! # Examples
 //!
@@ -68,6 +73,7 @@ pub use optimus_lint as lint;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;
 pub use optimus_pipeline as pipeline;
+pub use optimus_plansvc as plansvc;
 pub use optimus_recovery as recovery;
 pub use optimus_sim as sim;
 pub use optimus_trace as trace;
