@@ -1,0 +1,110 @@
+//! Fleet what-if benchmark: MTBF calibration round trip, Young/Daly vs
+//! exact checkpoint-interval solve for both placement policies, and the
+//! goodput frontier over cluster size × MTBF × policy × elastic mode.
+//!
+//! `--smoke` is the CI gate: the calibrated fleet MTBF must land near the
+//! planted truth; the exact interval must beat half and double itself (a
+//! local-optimality check independent of the solver's own search); bubble
+//! placement must beat critical-path at fleet level; Young/Daly must
+//! diverge under bubble packing and stay tight under critical-path writes;
+//! and the whole report must be byte-identical across worker counts.
+//! `--write` regenerates `BENCH_fleet.json` at the repo root.
+
+use optimus_bench::experiments::fleet;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let write = std::env::args().any(|a| a == "--write");
+    let (report, study) = fleet::run(smoke);
+    println!("{report}");
+
+    // Determinism and solver-ordering invariants hold in every mode.
+    assert!(
+        study.worker_invariant,
+        "worker count leaked into the report"
+    );
+    for s in [&study.bubble, &study.critical] {
+        assert!(
+            s.exact_goodput >= s.young_daly_goodput && s.exact_goodput >= s.self_consistent_goodput,
+            "{}: exact optimum {} below a closed-form seed (yd {}, self {})",
+            s.policy.label(),
+            s.exact_goodput,
+            s.young_daly_goodput,
+            s.self_consistent_goodput
+        );
+    }
+    for p in &study.optimality {
+        assert!(
+            p.exact_goodput >= p.half_goodput && p.exact_goodput >= p.double_goodput,
+            "{}: exact interval loses to half ({} vs {}) or double ({} vs {})",
+            p.policy.label(),
+            p.exact_goodput,
+            p.half_goodput,
+            p.exact_goodput,
+            p.double_goodput
+        );
+    }
+
+    if smoke {
+        assert!(
+            study.mtbf_rel_err < 0.2,
+            "calibrated fleet MTBF off by {:.1}% (>20%) over {} events",
+            study.mtbf_rel_err * 100.0,
+            study.calibration_events
+        );
+        assert!(
+            study.bubble.exact_goodput > study.critical.exact_goodput,
+            "bubble placement must beat critical-path at fleet level \
+             ({:.4} vs {:.4})",
+            study.bubble.exact_goodput,
+            study.critical.exact_goodput
+        );
+        // The headline: Young/Daly calibrated on the full write diverges
+        // once the write packs into bubbles, but stays tight when the
+        // write really rides the critical path.
+        assert!(
+            study.bubble.young_daly_k > 5 * study.bubble.exact_k,
+            "bubble packing should break Young/Daly: yd k={} vs exact k={}",
+            study.bubble.young_daly_k,
+            study.bubble.exact_k
+        );
+        assert!(
+            study.bubble.gap_pct > study.critical.gap_pct,
+            "Young/Daly gap must be wider under bubble packing \
+             ({:.2}% vs {:.2}%)",
+            study.bubble.gap_pct,
+            study.critical.gap_pct
+        );
+        // Frontier sanity: bubble beats critical-path cell-for-cell.
+        for c in &study.report.frontier {
+            if c.policy == optimus_recovery::PlacementPolicy::CriticalPath {
+                let twin = study
+                    .report
+                    .frontier
+                    .iter()
+                    .find(|b| {
+                        b.policy == optimus_recovery::PlacementPolicy::Bubble
+                            && b.devices == c.devices
+                            && b.mtbf_pct == c.mtbf_pct
+                            && b.mode == c.mode
+                    })
+                    .expect("bubble twin cell");
+                assert!(
+                    twin.summary.goodput_mean > c.summary.goodput_mean,
+                    "cell ({}, {}%, {:?}): bubble {:.4} <= critical {:.4}",
+                    c.devices,
+                    c.mtbf_pct,
+                    c.mode,
+                    twin.summary.goodput_mean,
+                    c.summary.goodput_mean
+                );
+            }
+        }
+        eprintln!("smoke assertions passed");
+    }
+    if write {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+        std::fs::write(path, study.to_json()).expect("write BENCH_fleet.json");
+        eprintln!("wrote {path}");
+    }
+}

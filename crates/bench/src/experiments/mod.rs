@@ -13,6 +13,7 @@ pub mod fig16;
 pub mod fig17;
 pub mod fig3;
 pub mod fill;
+pub mod fleet;
 pub mod lint_sweep;
 pub mod planner_scaling;
 pub mod plansvc;

@@ -16,7 +16,7 @@ use optimus_parallel::ParallelPlan;
 use optimus_recovery::{
     engine_check, plan_checkpoints, plan_elastic, simulate_lifecycle, CheckpointConfig,
     CheckpointPlan, DegradedMode, ElasticDecision, Failure, FailureKind, FailureTrace,
-    FailureTraceConfig, GoodputReport, RecoveryParams,
+    FailureTraceConfig, GoodputReport, Hazard, RecoveryParams,
 };
 use optimus_trace::{fault_table_with_recovery, TextTable};
 
@@ -107,6 +107,7 @@ pub fn run(smoke: bool) -> (String, Study) {
         restart: DurNs::from_millis(50),
         repair: DurNs::from_millis(500),
         permanent_every: 0,
+        hazard: Hazard::Uniform,
     })
     .expect("failure trace");
 

@@ -23,6 +23,10 @@
 //!    and compare against the observed timeline: per-stream makespan error,
 //!    per-interval overlap error, and bubble-structure agreement, reported
 //!    as JSON or a rendered table.
+//! 4. **MTBF fitting** ([`mtbf`]) — recover per-component failure rates
+//!    (GPU fail-stop, NIC/link fault, host loss) from the fault-event
+//!    track via the censored-exponential MLE, feeding the fleet-scale
+//!    resilience what-if engine.
 //!
 //! [`synth`] provides the deterministic ground-truth generator used by the
 //! closed-loop recovery tests and the `calibrate_fidelity` bench.
@@ -31,6 +35,7 @@ pub mod error;
 pub mod fidelity;
 pub mod fit;
 pub mod ingest;
+pub mod mtbf;
 pub mod samples;
 pub mod synth;
 
@@ -38,5 +43,6 @@ pub use error::CalibrateError;
 pub use fidelity::{DeviceBubbles, FidelityReport, StreamFidelity};
 pub use fit::{fit, Calibration, FittedParam};
 pub use ingest::{IngestedAnnotation, IngestedSpan, IngestedTrace};
+pub use mtbf::{fit_mtbf, ComponentRate, MtbfCalibration};
 pub use samples::{CommOp, CommSample, KernelLog, KernelSample};
 pub use synth::{apply_profiles, closed_loop_input, perturb_topology, synth_log};

@@ -1,0 +1,298 @@
+//! MTBF calibration from the chrome-trace fault-event track.
+//!
+//! The fleet what-if engine consumes per-component failure rates; this
+//! module recovers them from observed traces, closing the same
+//! profile→model loop the kernel/link fits close. Input is the instant
+//! annotations of any trace `optimus-trace` writes (category `fault`) —
+//! including the graphless [`optimus_trace::write_fault_event_trace`]
+//! output a fleet logger would emit.
+//!
+//! The estimator is the censored-exponential maximum likelihood: observing
+//! a pooled (fleet-level) failure stream over a window of length `T` with
+//! `n` events, the MLE of the rate is `λ = n/T` regardless of where the
+//! censoring cuts the last inter-arrival, so the fleet MTBF is `T/n` and
+//! the per-device MTBF is `T·D/n` for `D` devices. Like every fit in this
+//! crate it is closed-form and sequential — identical input bytes produce
+//! bit-identical parameters.
+
+use optimus_faults::Component;
+use optimus_json::Json;
+
+use crate::error::{format_err, CalibrateError};
+use crate::ingest::IngestedAnnotation;
+
+/// The fitted failure rate of one component class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentRate {
+    /// The component class.
+    pub component: Component,
+    /// Fault events attributed to this class in the window.
+    pub events: usize,
+    /// Fleet-level MTBF estimate `T/n` (infinite when no events landed).
+    pub mtbf_fleet_ns: f64,
+    /// Per-device MTBF estimate `T·D/n` (infinite when no events landed).
+    pub mtbf_device_ns: f64,
+}
+
+/// Per-component MTBF estimates recovered from a fault-event track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtbfCalibration {
+    /// Observation window the events were pooled over.
+    pub horizon_ns: u64,
+    /// Devices the pooled stream superposes.
+    pub num_devices: u32,
+    /// One entry per [`Component`] class, in [`Component::ALL`] order.
+    pub rates: Vec<ComponentRate>,
+}
+
+/// Maps a fault-track label to its component class. Accepts both the
+/// component labels the fleet generator emits (`gpu`, `nic_link`, `host`)
+/// and the scenario labels the per-step fault writers use (`fail_stop`,
+/// `degraded_*`, `device_loss`).
+fn component_of_label(label: &str) -> Option<Component> {
+    if let Some(c) = Component::parse(label) {
+        return Some(c);
+    }
+    match label {
+        "fail_stop" => Some(Component::Gpu),
+        "device_loss" => Some(Component::Host),
+        l if l.starts_with("degraded_") => Some(Component::NicLink),
+        _ => None,
+    }
+}
+
+/// Fits per-component MTBF from the fault-track annotations of an ingested
+/// trace. Annotations with category other than `fault`, or labels that map
+/// to no component class (jitter, stragglers, stalls), are ignored. Events
+/// outside `[0, horizon_ns)` are rejected — they would bias the censored
+/// MLE silently.
+pub fn fit_mtbf(
+    annotations: &[IngestedAnnotation],
+    horizon_ns: u64,
+    num_devices: u32,
+) -> Result<MtbfCalibration, CalibrateError> {
+    if horizon_ns == 0 || num_devices == 0 {
+        return format_err("mtbf fit needs horizon > 0 and num_devices > 0");
+    }
+    let mut counts = [0usize; Component::ALL.len()];
+    for a in annotations {
+        if a.cat != "fault" {
+            continue;
+        }
+        let Some(c) = component_of_label(&a.label) else {
+            continue;
+        };
+        if a.at < 0 || a.at as u64 >= horizon_ns {
+            return format_err(format!(
+                "fault event '{}' at {} ns falls outside the {} ns observation window",
+                a.label, a.at, horizon_ns
+            ));
+        }
+        counts[Component::ALL.iter().position(|&x| x == c).unwrap()] += 1;
+    }
+    let rates = Component::ALL
+        .iter()
+        .zip(counts)
+        .map(|(&component, events)| {
+            let mtbf_fleet_ns = if events == 0 {
+                f64::INFINITY
+            } else {
+                horizon_ns as f64 / events as f64
+            };
+            ComponentRate {
+                component,
+                events,
+                mtbf_fleet_ns,
+                mtbf_device_ns: mtbf_fleet_ns * f64::from(num_devices),
+            }
+        })
+        .collect();
+    Ok(MtbfCalibration {
+        horizon_ns,
+        num_devices,
+        rates,
+    })
+}
+
+impl MtbfCalibration {
+    /// The rate of one component class.
+    pub fn rate(&self, c: Component) -> &ComponentRate {
+        self.rates
+            .iter()
+            .find(|r| r.component == c)
+            .expect("rates cover every component class")
+    }
+
+    /// Byte-stable text encoding: one
+    /// `mtbf_device_<class> <f64-bit-pattern-hex> <decimal> events=<n>`
+    /// line per class, same contract as [`crate::Calibration::golden_text`].
+    pub fn golden_text(&self) -> String {
+        let mut out = String::new();
+        for r in &self.rates {
+            out.push_str(&format!(
+                "mtbf_device_{} {:016x} {:e} events={}\n",
+                r.component.label(),
+                r.mtbf_device_ns.to_bits(),
+                r.mtbf_device_ns,
+                r.events
+            ));
+        }
+        out
+    }
+
+    /// The calibration as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("horizon_ns", Json::from(self.horizon_ns)),
+            ("num_devices", Json::from(self.num_devices)),
+            (
+                "rates",
+                Json::Arr(
+                    self.rates
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("component", Json::from(r.component.label())),
+                                ("events", Json::from(r.events as u64)),
+                                ("mtbf_fleet_ns", Json::from(r.mtbf_fleet_ns)),
+                                ("mtbf_device_ns", Json::from(r.mtbf_device_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ingest::IngestedTrace;
+    use optimus_recovery::{ClassedTrace, ComponentSpec};
+    use optimus_trace::{write_fault_event_trace, TraceAnnotation};
+
+    /// End-to-end round trip: plant per-device MTBFs, generate the classed
+    /// fleet trace, serialise it through the graphless fault-event writer,
+    /// ingest the chrome JSON back, fit — and recover the planted rates.
+    #[test]
+    fn round_trips_planted_truth_rates() {
+        let mtbf_gpu: u64 = 1_000_000_000;
+        let devices: u32 = 16;
+        let horizon: u64 = 50_000_000_000;
+        let specs = ComponentSpec::standard_mix(
+            mtbf_gpu,
+            optimus_cluster::DurNs(5_000),
+            optimus_cluster::DurNs(500_000),
+        );
+        let trace = ClassedTrace::generate(99, horizon, devices, &specs).expect("classed trace");
+        assert!(trace.len() > 500, "want a statistically useful trace");
+
+        let faults: Vec<TraceAnnotation> = trace
+            .events()
+            .iter()
+            .map(|e| TraceAnnotation {
+                label: e.component.label().into(),
+                device: e.failure.device,
+                at_us: e.failure.at.0 as f64 / 1000.0,
+                detail: String::new(),
+            })
+            .collect();
+        let mut buf = Vec::new();
+        write_fault_event_trace(&faults, &[], &mut buf).expect("write");
+        let ingested =
+            IngestedTrace::parse_chrome(std::str::from_utf8(&buf).unwrap()).expect("ingest");
+        assert_eq!(ingested.annotations.len(), trace.len());
+
+        let cal = fit_mtbf(&ingested.annotations, horizon, devices).expect("fit");
+        for spec in &specs {
+            let fitted = cal.rate(spec.component).mtbf_device_ns;
+            let truth = spec.mtbf_device_ns as f64;
+            let rel = (fitted - truth).abs() / truth;
+            // Statistical tolerance scales with 1/√n: the rarest class
+            // (host) sees the fewest events.
+            let events = cal.rate(spec.component).events as f64;
+            let tol = 4.0 / events.sqrt();
+            assert!(
+                rel < tol,
+                "{}: fitted {fitted} vs planted {truth} (rel {rel:.3}, tol {tol:.3}, n {events})",
+                spec.component.label()
+            );
+        }
+    }
+
+    #[test]
+    fn fit_is_deterministic_and_stable_text() {
+        let anns = vec![
+            IngestedAnnotation {
+                label: "gpu".into(),
+                cat: "fault".into(),
+                device: 0,
+                at: 1_000,
+                detail: String::new(),
+            },
+            IngestedAnnotation {
+                label: "fail_stop".into(),
+                cat: "fault".into(),
+                device: 1,
+                at: 2_000,
+                detail: String::new(),
+            },
+            IngestedAnnotation {
+                label: "degraded_rdma".into(),
+                cat: "fault".into(),
+                device: 2,
+                at: 3_000,
+                detail: String::new(),
+            },
+            // Ignored: wrong category, unmapped label.
+            IngestedAnnotation {
+                label: "gpu".into(),
+                cat: "recovery".into(),
+                device: 0,
+                at: 4_000,
+                detail: String::new(),
+            },
+            IngestedAnnotation {
+                label: "kernel_jitter".into(),
+                cat: "fault".into(),
+                device: 0,
+                at: 5_000,
+                detail: String::new(),
+            },
+        ];
+        let a = fit_mtbf(&anns, 10_000, 4).expect("fit");
+        let b = fit_mtbf(&anns, 10_000, 4).expect("fit");
+        assert_eq!(a, b);
+        assert_eq!(a.rate(Component::Gpu).events, 2);
+        assert_eq!(a.rate(Component::NicLink).events, 1);
+        assert_eq!(a.rate(Component::Host).events, 0);
+        assert_eq!(a.rate(Component::Gpu).mtbf_fleet_ns, 5_000.0);
+        assert_eq!(a.rate(Component::Gpu).mtbf_device_ns, 20_000.0);
+        assert!(a.rate(Component::Host).mtbf_fleet_ns.is_infinite());
+        let text = a.golden_text();
+        assert_eq!(text, b.golden_text());
+        assert!(text.contains("mtbf_device_gpu"));
+        assert!(text.contains("events=2"));
+        assert_eq!(text.lines().count(), Component::ALL.len());
+        // JSON encodes every class.
+        let json = a.to_json().to_compact();
+        assert!(json.contains("\"nic_link\""));
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_windows_and_stray_events() {
+        assert!(fit_mtbf(&[], 0, 4).is_err());
+        assert!(fit_mtbf(&[], 1_000, 0).is_err());
+        let out_of_window = [IngestedAnnotation {
+            label: "gpu".into(),
+            cat: "fault".into(),
+            device: 0,
+            at: 2_000,
+            detail: String::new(),
+        }];
+        assert!(fit_mtbf(&out_of_window, 1_000, 4).is_err());
+        let empty = fit_mtbf(&[], 1_000, 4).expect("empty fit");
+        assert!(empty.rates.iter().all(|r| r.events == 0));
+    }
+}

@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod math;
+
 use std::ops::{Range, RangeInclusive};
 
 /// A source of random 64-bit words.

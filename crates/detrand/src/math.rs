@@ -1,0 +1,270 @@
+//! Deterministic transcendental functions.
+//!
+//! `f64::ln` / `f64::exp` route through the platform libm, whose results are
+//! *not* guaranteed bit-identical across platforms — which would break the
+//! workspace's seeded-draw determinism contract the moment a sampler needs a
+//! non-uniform distribution (exponential or Weibull inter-arrival gaps, for
+//! instance). The functions here are built exclusively from IEEE-754 basic
+//! operations (`+ - * /`, `sqrt`, and bit manipulation), all of which are
+//! correctly rounded and therefore identical on every conforming platform,
+//! with fixed-length polynomial evaluations — no tables, no platform
+//! dispatch, no FMA contraction (Rust never auto-contracts).
+//!
+//! Accuracy is a few ULP short of libm (relative error ≲ 1e-14), which is
+//! far below the modelling error of anything the workspace samples; the
+//! value these functions buy is *reproducibility*, not precision.
+
+/// Deterministic natural logarithm.
+///
+/// `ln(x)` for finite positive `x`; returns `f64::NAN` for negative inputs
+/// and NaN, `f64::NEG_INFINITY` for `0`, and `f64::INFINITY` for `+inf`.
+pub fn ln(x: f64) -> f64 {
+    if x.is_nan() || x < 0.0 {
+        return f64::NAN;
+    }
+    if x == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if x.is_infinite() {
+        return f64::INFINITY;
+    }
+    // Decompose x = m · 2^e with m ∈ [1, 2).
+    let bits = x.to_bits();
+    let mut e = ((bits >> 52) & 0x7ff) as i64 - 1023;
+    let mut m = if e == -1023 {
+        // Subnormal: scale up by 2^54 first.
+        let scaled = x * (1u64 << 54) as f64;
+        let sb = scaled.to_bits();
+        e = ((sb >> 52) & 0x7ff) as i64 - 1023 - 54;
+        f64::from_bits((sb & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000)
+    } else {
+        f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000)
+    };
+    // Center m on 1: fold [√2, 2) down to [√2/2, √2) so |z| stays small.
+    if m > core::f64::consts::SQRT_2 {
+        m *= 0.5;
+        e += 1;
+    }
+    // ln m = 2·atanh(z) with z = (m−1)/(m+1), |z| ≤ (√2−1)/(√2+1) ≈ 0.1716.
+    let z = (m - 1.0) / (m + 1.0);
+    let z2 = z * z;
+    // Fixed 10-term odd series: truncation ≤ z²¹/21 ≈ 4e-17 relative.
+    let mut sum = 0.0;
+    let mut k = 19i32;
+    while k >= 1 {
+        sum = sum * z2 + 1.0 / k as f64;
+        k -= 2;
+    }
+    2.0 * z * sum + e as f64 * core::f64::consts::LN_2
+}
+
+/// Deterministic exponential.
+///
+/// `exp(x)` for finite `x`; saturates to `0` / `f64::INFINITY` outside the
+/// representable range and returns NaN for NaN.
+pub fn exp(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x > 709.8 {
+        return f64::INFINITY;
+    }
+    if x < -745.2 {
+        return 0.0;
+    }
+    // Range-reduce: x = k·ln2 + r with |r| ≤ ln2/2.
+    let k = (x / core::f64::consts::LN_2).round();
+    // Two-part ln2 keeps k·ln2 exact to well below 1 ULP of r.
+    const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+    const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+    let r = (x - k * LN2_HI) - k * LN2_LO;
+    // exp(r) by fixed 13-term Taylor (Horner): error ≤ r¹⁴/14! ≈ 4e-18.
+    let mut p = 1.0;
+    let mut n = 13i32;
+    while n >= 1 {
+        p = p * r / n as f64 + 1.0;
+        n -= 1;
+    }
+    // Scale by 2^k via exponent bits (ldexp).
+    let ki = k as i64;
+    if ki >= 1024 {
+        return f64::INFINITY;
+    }
+    if ki < -1074 {
+        return 0.0;
+    }
+    if ki >= -1022 {
+        p * f64::from_bits(((1023 + ki) as u64) << 52)
+    } else {
+        // Subnormal result: scale in two steps.
+        p * f64::from_bits(((1023 + ki + 52) as u64) << 52) * f64::from_bits((1023u64 - 52) << 52)
+    }
+}
+
+/// Deterministic power: `x^y = exp(y·ln x)` for `x > 0` (plus the trivial
+/// `x == 0` / `y == 0` cases). Negative bases return NaN.
+pub fn powf(x: f64, y: f64) -> f64 {
+    if y == 0.0 {
+        return 1.0;
+    }
+    if x == 0.0 {
+        return if y > 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    if x < 0.0 {
+        return f64::NAN;
+    }
+    exp(y * ln(x))
+}
+
+/// Deterministic `ln Γ(x)` for `x > 0` (Lanczos approximation, g = 7, 9
+/// coefficients — relative error below 1e-13 on the positive axis).
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    // Published Lanczos coefficients, quoted verbatim; the trailing digits
+    // round away in f64 but keep the table recognisable.
+    #[allow(clippy::excessive_precision)]
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x <= 0.0 {
+        return f64::NAN;
+    }
+    // ln√(2π)
+    const HALF_LN_TWO_PI: f64 = 0.918_938_533_204_672_7;
+    let z = x - 1.0;
+    let mut a = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (z + i as f64);
+    }
+    let t = z + G + 0.5;
+    HALF_LN_TWO_PI + (z + 0.5) * ln(t) - t + ln(a)
+}
+
+/// Deterministic Γ(x) for `x > 0`.
+pub fn gamma(x: f64) -> f64 {
+    exp(ln_gamma(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(a: f64, b: f64) -> f64 {
+        if b == 0.0 {
+            a.abs()
+        } else {
+            (a - b).abs() / b.abs()
+        }
+    }
+
+    #[test]
+    fn ln_matches_libm_closely() {
+        for &x in &[
+            1e-300,
+            1e-9,
+            0.1,
+            0.5,
+            0.9999,
+            1.0,
+            1.0001,
+            2.0,
+            core::f64::consts::E,
+            10.0,
+            1e5,
+            1e300,
+        ] {
+            assert!(
+                rel(ln(x), x.ln()) < 1e-13,
+                "ln({x}) = {} vs {}",
+                ln(x),
+                x.ln()
+            );
+        }
+        assert_eq!(ln(1.0), 0.0);
+        assert_eq!(ln(0.0), f64::NEG_INFINITY);
+        assert!(ln(-1.0).is_nan());
+        assert_eq!(ln(f64::INFINITY), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_matches_libm_closely() {
+        for &x in &[
+            -700.0, -20.0, -1.0, -1e-12, 0.0, 1e-12, 0.5, 1.0, 2.0, 20.0, 700.0,
+        ] {
+            assert!(
+                rel(exp(x), x.exp()) < 1e-13,
+                "exp({x}) = {} vs {}",
+                exp(x),
+                x.exp()
+            );
+        }
+        assert_eq!(exp(0.0), 1.0);
+        assert_eq!(exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(exp(1000.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn exp_ln_round_trip() {
+        for i in 1..200u32 {
+            let x = f64::from(i) * 0.37;
+            assert!(rel(exp(ln(x)), x) < 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn powf_matches_libm_closely() {
+        for &(x, y) in &[
+            (2.0, 10.0),
+            (10.0, -3.0),
+            (0.5, 0.5),
+            (1.7, 3.3),
+            (123.0, 0.25),
+        ] {
+            assert!(
+                rel(powf(x, y), x.powf(y)) < 1e-12,
+                "powf({x},{y}) = {} vs {}",
+                powf(x, y),
+                x.powf(y)
+            );
+        }
+        assert_eq!(powf(5.0, 0.0), 1.0);
+        assert_eq!(powf(0.0, 2.0), 0.0);
+        assert!(powf(-2.0, 0.5).is_nan());
+    }
+
+    #[test]
+    fn gamma_hits_known_values() {
+        // Γ(n) = (n−1)!
+        assert!(rel(gamma(1.0), 1.0) < 1e-12);
+        assert!(rel(gamma(2.0), 1.0) < 1e-12);
+        assert!(rel(gamma(5.0), 24.0) < 1e-12);
+        // Γ(1/2) = √π
+        assert!(rel(gamma(0.5), core::f64::consts::PI.sqrt()) < 1e-12);
+        // Weibull normalisation range: Γ(1 + 1/k) for k ∈ [0.5, 5].
+        for &k in &[0.5, 0.7, 1.0, 1.5, 2.0, 5.0] {
+            let g = gamma(1.0 + 1.0 / k);
+            assert!(g.is_finite() && g > 0.0, "k={k}");
+        }
+        assert!(ln_gamma(-1.0).is_nan());
+    }
+
+    #[test]
+    fn results_are_bitwise_stable() {
+        // The whole point: repeated evaluation is bit-identical.
+        for i in 1..50u32 {
+            let x = f64::from(i) * 0.173;
+            assert_eq!(ln(x).to_bits(), ln(x).to_bits());
+            assert_eq!(exp(-x).to_bits(), exp(-x).to_bits());
+            assert_eq!(powf(x, 1.0 / 3.0).to_bits(), powf(x, 1.0 / 3.0).to_bits());
+            assert_eq!(ln_gamma(x).to_bits(), ln_gamma(x).to_bits());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Hardware component classes for fleet-level failure modelling.
+//!
+//! Field MTBF studies (and RAPID-LLM's resilience model) break fleet
+//! failures down by the component that died, because the classes have very
+//! different rates *and* very different recovery semantics: a GPU fail-stop
+//! restarts the process, a NIC/link fault forces a communicator re-init
+//! (job-fatal in practice, so also a restart — just a slower one), and a
+//! host loss takes every device on the node out until a replacement lands.
+//! [`Component`] names the classes; `optimus-recovery`'s multi-class trace
+//! generator and `optimus-calibrate`'s MTBF fit both key on it.
+
+/// A hardware component class with its own failure rate and recovery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Component {
+    /// A GPU: fail-stop, process checkpoint-restart brings it back.
+    Gpu,
+    /// A NIC or inter-node link: the collective communicator dies and must
+    /// re-initialise — job-fatal, recovered by a (slower) restart.
+    NicLink,
+    /// A host: node eviction or hardware death; every device it carries is
+    /// gone until a replacement joins.
+    Host,
+}
+
+impl Component {
+    /// All component classes, in stable report order.
+    pub const ALL: [Component; 3] = [Component::Gpu, Component::NicLink, Component::Host];
+
+    /// Short stable name for traces and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Component::Gpu => "gpu",
+            Component::NicLink => "nic_link",
+            Component::Host => "host",
+        }
+    }
+
+    /// Parses a [`Component::label`] back into the class.
+    pub fn parse(label: &str) -> Option<Component> {
+        Component::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl crate::FaultScenario {
+    /// The hardware component class whose death this scenario models, when
+    /// one applies: fail-stop is a GPU death, link degradation a NIC/link
+    /// fault, device loss a host-class event. Duration-noise scenarios
+    /// (jitter, stragglers, stalls) have no component semantics.
+    pub fn component(&self) -> Option<Component> {
+        match self {
+            crate::FaultScenario::FailStop { .. } => Some(Component::Gpu),
+            crate::FaultScenario::DegradedLink { .. } => Some(Component::NicLink),
+            crate::FaultScenario::DeviceLoss { .. } => Some(Component::Host),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultScenario;
+    use optimus_cluster::{DurNs, LinkClass, TimeNs};
+
+    #[test]
+    fn labels_round_trip() {
+        for c in Component::ALL {
+            assert_eq!(Component::parse(c.label()), Some(c));
+        }
+        assert_eq!(Component::parse("quantum_link"), None);
+    }
+
+    #[test]
+    fn scenario_component_mapping() {
+        assert_eq!(
+            FaultScenario::FailStop {
+                device: 0,
+                at: TimeNs(1),
+                restart: DurNs(1)
+            }
+            .component(),
+            Some(Component::Gpu)
+        );
+        assert_eq!(
+            FaultScenario::DegradedLink {
+                class: LinkClass::Rdma,
+                bandwidth_factor: 0.5,
+                latency_factor: 1.0
+            }
+            .component(),
+            Some(Component::NicLink)
+        );
+        assert_eq!(
+            FaultScenario::DeviceLoss {
+                device: 0,
+                at: TimeNs(1),
+                repair: DurNs(1)
+            }
+            .component(),
+            Some(Component::Host)
+        );
+        assert_eq!(FaultScenario::KernelJitter { eps: 0.1 }.component(), None);
+    }
+}

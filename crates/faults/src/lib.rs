@@ -42,11 +42,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod component;
 pub mod drift;
 pub mod error;
 pub mod inject;
 pub mod scenario;
 
+pub use component::Component;
 pub use drift::{measure_drift, DriftSummary, ResourceDrift};
 pub use error::FaultError;
 pub use inject::{perturb_uniform, FaultEvent, FaultModel, Injection};

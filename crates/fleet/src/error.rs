@@ -1,0 +1,42 @@
+//! Typed errors for the fleet what-if engine.
+
+use std::fmt;
+
+use optimus_recovery::RecoveryError;
+
+/// Everything that can go wrong running a fleet what-if study.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// Invalid scenario or study configuration.
+    Invalid(String),
+    /// An underlying recovery primitive (trace generation, parameter
+    /// validation) rejected its input.
+    Recovery(RecoveryError),
+    /// The exact-ledger audit failed: a replica's wall clock does not equal
+    /// useful work plus the lost-work ledger. This is a bug, never a
+    /// data-dependent condition.
+    Audit(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Invalid(msg) => write!(f, "invalid fleet config: {msg}"),
+            FleetError::Recovery(e) => write!(f, "recovery primitive failed: {e}"),
+            FleetError::Audit(msg) => write!(f, "ledger audit failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<RecoveryError> for FleetError {
+    fn from(e: RecoveryError) -> FleetError {
+        FleetError::Recovery(e)
+    }
+}
+
+/// Shorthand for `Err(FleetError::Invalid(...))`.
+pub(crate) fn invalid<T>(msg: impl Into<String>) -> Result<T, FleetError> {
+    Err(FleetError::Invalid(msg.into()))
+}

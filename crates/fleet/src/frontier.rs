@@ -1,0 +1,210 @@
+//! Goodput frontiers: p50/p99 goodput over cluster size × MTBF scale ×
+//! checkpoint policy × elastic mode.
+//!
+//! Each `(devices, mtbf%)` cell generates one shared set of replica traces
+//! (so every policy/mode comparison inside the cell is against identical
+//! failure realities), solves the exact-optimal checkpoint interval per
+//! policy under wait-for-restart, then prices every elastic mode at that
+//! interval. The output is a flat list of [`FrontierCell`]s in
+//! deterministic sweep order — the raw material of the report's frontier
+//! table and the golden fixture.
+
+use optimus_recovery::{DegradedMode, PlacementPolicy};
+
+use crate::error::{invalid, FleetError};
+use crate::montecarlo::{evaluate, replica_traces, McSummary};
+use crate::scenario::FleetScenario;
+use crate::solver::solve_on_traces;
+
+/// The sweep grid of a frontier study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierConfig {
+    /// Cluster sizes to sweep.
+    pub devices: Vec<u32>,
+    /// MTBF scales, percent of the scenario's rates (100 = as specified).
+    pub mtbf_pcts: Vec<u32>,
+    /// Checkpoint placement policies.
+    pub policies: Vec<PlacementPolicy>,
+    /// Elastic degraded modes.
+    pub modes: Vec<DegradedMode>,
+    /// Monte Carlo replicas per cell.
+    pub replicas: u32,
+    /// Worker threads (`0` = one per core); any value is bit-identical.
+    pub workers: usize,
+    /// Interval-search bound, steps.
+    pub k_max: u32,
+}
+
+impl FrontierConfig {
+    /// A compact CI-sized grid: two cluster sizes, two reliability points,
+    /// both policies, every elastic mode.
+    pub fn smoke(replicas: u32, workers: usize) -> FrontierConfig {
+        FrontierConfig {
+            devices: vec![256, 512],
+            mtbf_pcts: vec![50, 100],
+            policies: vec![PlacementPolicy::Bubble, PlacementPolicy::CriticalPath],
+            modes: vec![
+                DegradedMode::WaitForRestart,
+                DegradedMode::ShrinkDp,
+                DegradedMode::DropPipelineReplica,
+            ],
+            replicas,
+            workers,
+            k_max: 4096,
+        }
+    }
+}
+
+/// One point of the goodput frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierCell {
+    /// Cluster size of the cell.
+    pub devices: u32,
+    /// MTBF scale, percent.
+    pub mtbf_pct: u32,
+    /// Checkpoint placement policy.
+    pub policy: PlacementPolicy,
+    /// Elastic degraded mode.
+    pub mode: DegradedMode,
+    /// Exact-solved checkpoint interval for this cell's policy, steps.
+    pub interval_steps: u32,
+    /// Pooled goodput statistics at that interval.
+    pub summary: McSummary,
+}
+
+/// Sweeps the frontier grid. Cells come back in `devices → mtbf% → policy
+/// → mode` order; the whole sweep is a pure function of `(scenario,
+/// config)` and bit-identical at any worker count.
+pub fn sweep_frontier(
+    sc: &FleetScenario,
+    cfg: &FrontierConfig,
+) -> Result<Vec<FrontierCell>, FleetError> {
+    sc.validate()?;
+    if cfg.devices.is_empty() || cfg.mtbf_pcts.is_empty() {
+        return invalid("frontier needs at least one device count and one mtbf scale");
+    }
+    if cfg.policies.is_empty() || cfg.modes.is_empty() {
+        return invalid("frontier needs at least one policy and one mode");
+    }
+    if cfg.mtbf_pcts.contains(&0) {
+        return invalid("mtbf scale must be > 0 percent");
+    }
+    let mut cells = Vec::new();
+    for &devices in &cfg.devices {
+        for &pct in &cfg.mtbf_pcts {
+            let variant = sc.with_devices(devices).with_mtbf_scale_pct(pct);
+            // One trace set per physical cell: every policy/mode knob is
+            // priced against identical failure realities.
+            let traces = replica_traces(&variant, cfg.replicas, cfg.workers)?;
+            for &policy in &cfg.policies {
+                let solved = solve_on_traces(
+                    &variant,
+                    policy,
+                    DegradedMode::WaitForRestart,
+                    &traces,
+                    cfg.workers,
+                    cfg.k_max,
+                )?;
+                let plan = variant.plan(policy, solved.exact_k);
+                for &mode in &cfg.modes {
+                    let params = variant.recovery_params(mode)?;
+                    let study =
+                        evaluate(&plan, &traces, &params, variant.horizon_steps, cfg.workers)?;
+                    cells.push(FrontierCell {
+                        devices,
+                        mtbf_pct: pct,
+                        policy,
+                        mode,
+                        interval_steps: solved.exact_k,
+                        summary: study.summary,
+                    });
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_scenario() -> FleetScenario {
+        let mut sc = FleetScenario::synthetic();
+        sc.horizon_steps = 100_000;
+        sc
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_ordered() {
+        let sc = short_scenario();
+        let cfg = FrontierConfig {
+            devices: vec![512],
+            mtbf_pcts: vec![100],
+            policies: vec![PlacementPolicy::Bubble, PlacementPolicy::CriticalPath],
+            modes: vec![DegradedMode::WaitForRestart, DegradedMode::ShrinkDp],
+            replicas: 3,
+            workers: 2,
+            k_max: 2048,
+        };
+        let a = sweep_frontier(&sc, &cfg).expect("sweep");
+        let b = sweep_frontier(
+            &sc,
+            &FrontierConfig {
+                workers: 1,
+                ..cfg.clone()
+            },
+        )
+        .expect("sweep");
+        assert_eq!(a, b, "worker count leaked into the frontier");
+        assert_eq!(a.len(), 4);
+        // Bubble cells strictly beat critical-path cells on the same
+        // traces and mode.
+        let find = |policy, mode| {
+            a.iter()
+                .find(|c| c.policy == policy && c.mode == mode)
+                .expect("cell")
+        };
+        for mode in [DegradedMode::WaitForRestart, DegradedMode::ShrinkDp] {
+            let bubble = find(PlacementPolicy::Bubble, mode);
+            let critical = find(PlacementPolicy::CriticalPath, mode);
+            assert!(
+                bubble.summary.goodput_mean > critical.summary.goodput_mean,
+                "bubble {} <= critical {} under {:?}",
+                bubble.summary.goodput_mean,
+                critical.summary.goodput_mean,
+                mode
+            );
+        }
+        // Elastic shrink-DP beats waiting out host repairs.
+        let wait = find(PlacementPolicy::Bubble, DegradedMode::WaitForRestart);
+        let shrink = find(PlacementPolicy::Bubble, DegradedMode::ShrinkDp);
+        assert!(shrink.summary.goodput_mean > wait.summary.goodput_mean);
+    }
+
+    #[test]
+    fn degenerate_grids_are_rejected() {
+        let sc = short_scenario();
+        let good = FrontierConfig::smoke(2, 1);
+        for bad in [
+            FrontierConfig {
+                devices: vec![],
+                ..good.clone()
+            },
+            FrontierConfig {
+                mtbf_pcts: vec![0],
+                ..good.clone()
+            },
+            FrontierConfig {
+                policies: vec![],
+                ..good.clone()
+            },
+            FrontierConfig {
+                modes: vec![],
+                ..good.clone()
+            },
+        ] {
+            assert!(sweep_frontier(&sc, &bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The exact lifecycle ledger, fast: an `O(failures · log steps)` jump-walk
+//! that reproduces [`optimus_recovery::simulate_lifecycle`] bit-for-bit.
+//!
+//! The recovery crate's lifecycle walks the horizon one step at a time and
+//! materialises a gapless [`Segment`](optimus_recovery::Segment) timeline —
+//! perfect for a few dozen steps, hopeless for the month-long horizons a
+//! fleet study prices (millions of steps × hundreds of Monte Carlo replicas
+//! × a frontier grid). This module keeps the *identical* integer-ns state
+//! machine but advances it in closed form between events:
+//!
+//! * Between two "interesting" wall instants (the next failure, the replay
+//!   catch-up boundary, the degraded-mode repair landing, the end of the
+//!   horizon) every step costs the same and checkpoints fire at fixed
+//!   multiples of the interval, so the wall after `j` more steps is the
+//!   affine-with-a-floor function `w(j) = wall + j·cost + ⌈ckpts(j)⌉·spill`.
+//! * The number of steps that fit before the next event is found by binary
+//!   search on `w` (it is strictly increasing), and the whole stretch is
+//!   booked in O(1): replay/degraded/spill ledger entries are per-step
+//!   constants times the jump length.
+//! * Failure handling, rollback, degraded entry/exit and recovery-time
+//!   accounting are verbatim mirrors of the stepwise walk.
+//!
+//! The equivalence is not aspirational: the unit tests below drive both
+//! engines over transient, permanent-wait and permanent-degraded traces and
+//! require the full [`LostWork`] ledger, wall clock, failure count and
+//! recovery times to match exactly, and `tests/fleet.rs` re-checks it at
+//! the integration level. The exactness invariant
+//! `wall == horizon·step + lost.total()` is enforced per replica by
+//! [`LedgerOutcome::audit`].
+
+use optimus_recovery::{
+    CheckpointPlan, FailureKind, FailureTrace, GoodputReport, LostWork, RecoveryParams,
+};
+
+use crate::error::{invalid, FleetError};
+
+/// The four numbers of a checkpoint plan the lifecycle ledger actually
+/// consumes. Everything else on [`CheckpointPlan`] (claims, insert sets,
+/// byte counts) prices or verifies the placement; the ledger only needs the
+/// step cost, the restore read, and the per-interval spill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LedgerPlan {
+    /// Steps between durable checkpoints (`> 0`).
+    pub interval_steps: u32,
+    /// Fault-free step latency, ns (`> 0`).
+    pub step_ns: i64,
+    /// Full shard write — and restore read — time, ns (`>= 0`).
+    pub write_ns: i64,
+    /// Critical-path stall per checkpoint interval, ns (`>= 0`; zero when
+    /// the write is fully bubble-hidden).
+    pub spill_ns: i64,
+}
+
+impl LedgerPlan {
+    /// Extracts the ledger view of a priced checkpoint plan.
+    pub fn of(plan: &CheckpointPlan) -> LedgerPlan {
+        LedgerPlan {
+            interval_steps: plan.interval_steps,
+            step_ns: plan.step_ns,
+            write_ns: plan.write_ns,
+            spill_ns: plan.spill_ns,
+        }
+    }
+
+    /// Rejects degenerate plans.
+    pub fn validate(&self) -> Result<(), FleetError> {
+        if self.interval_steps == 0 {
+            return invalid("checkpoint interval must be >= 1 step");
+        }
+        if self.step_ns <= 0 {
+            return invalid(format!("non-positive step latency {}", self.step_ns));
+        }
+        if self.write_ns < 0 || self.spill_ns < 0 {
+            return invalid(format!(
+                "negative write ({}) or spill ({})",
+                self.write_ns, self.spill_ns
+            ));
+        }
+        if self.spill_ns > self.write_ns {
+            return invalid(format!(
+                "spill {} exceeds the full write {}",
+                self.spill_ns, self.write_ns
+            ));
+        }
+        Ok(())
+    }
+
+    /// Fault-free wall time for `horizon_steps` steps, same closed form as
+    /// [`CheckpointPlan::fault_free_wall_ns`].
+    pub fn fault_free_wall_ns(&self, horizon_steps: u32) -> i64 {
+        horizon_steps as i64 * self.step_ns
+            + (horizon_steps / self.interval_steps) as i64 * self.spill_ns
+    }
+}
+
+/// The result of one fast lifecycle walk: the same ledger
+/// [`simulate_lifecycle`](optimus_recovery::simulate_lifecycle) produces,
+/// minus the per-segment timeline (which would be `O(steps)` to carry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerOutcome {
+    /// Steps in the horizon.
+    pub horizon_steps: u32,
+    /// Fault-free step latency, ns.
+    pub step_ns: i64,
+    /// Total wall time, ns.
+    pub wall_ns: i64,
+    /// Lost-time breakdown; `wall_ns == horizon_steps · step_ns +
+    /// lost.total()` exactly ([`LedgerOutcome::audit`]).
+    pub lost: LostWork,
+    /// Failures that fired inside the horizon.
+    pub failures_seen: u32,
+    /// Per-failure recovery time (failure instant → replay caught up), ns,
+    /// in event order.
+    pub recoveries_ns: Vec<i64>,
+}
+
+impl LedgerOutcome {
+    /// Useful work: `horizon_steps · step_ns`.
+    pub fn useful_ns(&self) -> i64 {
+        self.horizon_steps as i64 * self.step_ns
+    }
+
+    /// Goodput: useful work over wall time.
+    pub fn goodput(&self) -> f64 {
+        if self.wall_ns <= 0 {
+            return 0.0;
+        }
+        self.useful_ns() as f64 / self.wall_ns as f64
+    }
+
+    /// Checks the exactness invariant `wall == useful + lost.total()`.
+    /// A violation is a ledger bug, so Monte Carlo audits every replica.
+    pub fn audit(&self) -> Result<(), FleetError> {
+        let expect = self.useful_ns() + self.lost.total();
+        if self.wall_ns != expect {
+            return Err(FleetError::Audit(format!(
+                "wall {} ns != useful {} + lost {} = {} ns",
+                self.wall_ns,
+                self.useful_ns(),
+                self.lost.total(),
+                expect
+            )));
+        }
+        Ok(())
+    }
+
+    /// The outcome as a [`GoodputReport`] (recovery times sorted ascending,
+    /// matching [`GoodputReport::from_outcome`]).
+    pub fn report(&self) -> GoodputReport {
+        let mut recoveries = self.recoveries_ns.clone();
+        recoveries.sort_unstable();
+        GoodputReport {
+            horizon_steps: self.horizon_steps,
+            step_ns: self.step_ns,
+            useful_ns: self.useful_ns(),
+            wall_ns: self.wall_ns,
+            lost: self.lost,
+            failures: self.failures_seen,
+            recoveries_ns: recoveries,
+        }
+    }
+}
+
+/// Runs the failure lifecycle for `horizon_steps` steps in
+/// `O(failures · log steps)`, reproducing the exact integer-ns ledger of
+/// [`simulate_lifecycle`](optimus_recovery::simulate_lifecycle).
+pub fn fast_lifecycle(
+    plan: &LedgerPlan,
+    trace: &FailureTrace,
+    params: &RecoveryParams,
+    horizon_steps: u32,
+) -> Result<LedgerOutcome, FleetError> {
+    plan.validate()?;
+    if horizon_steps == 0 {
+        return invalid("empty training horizon");
+    }
+    if let Some(d) = &params.degraded {
+        if d.effective_step_ns <= 0 || d.reshard_ns < 0 {
+            return invalid(format!(
+                "degraded plan has non-positive step ({}) or negative reshard ({})",
+                d.effective_step_ns, d.reshard_ns
+            ));
+        }
+    }
+    let n = horizon_steps;
+    let k = plan.interval_steps;
+    let step = plan.step_ns;
+    let spill = plan.spill_ns;
+    let read_ns = plan.write_ns; // restore read: same bytes, same link
+    let det = params.detection.0 as i64;
+    let overhead = params.restart_overhead.0 as i64;
+
+    let mut wall: i64 = 0;
+    let mut progress: u32 = 0; // completed steps (monotone within a replay era)
+    let mut committed: u32 = 0; // last durable step
+    let mut replay_target: u32 = 0;
+    let mut open_failure_at: Option<i64> = None;
+    let mut degraded_until: Option<i64> = None;
+
+    let mut lost = LostWork::default();
+    let mut recoveries: Vec<i64> = Vec::new();
+    let mut failures_seen = 0u32;
+    let mut fi = 0usize;
+    let fails = trace.failures();
+
+    // Checkpoints paid while stepping `j` times from progress `p0`. At
+    // every loop top `committed == (p0 / k) · k` (the stepwise walk commits
+    // at each crossed multiple of `k`, and rollback lands exactly on one),
+    // so the boundaries crossed are the multiples of `k` in `(p0, p0 + j]`.
+    let ckpts = |p0: u32, j: u64| -> i64 {
+        ((u64::from(p0) + j) / u64::from(k) - u64::from(p0) / u64::from(k)) as i64
+    };
+
+    while progress < n {
+        // Leave degraded mode at a step boundary once the repair landed.
+        if let (Some(t), Some(d)) = (degraded_until, params.degraded.as_ref()) {
+            if wall >= t {
+                lost.restart_ns += d.reshard_ns;
+                wall += d.reshard_ns;
+                degraded_until = None;
+            }
+        }
+        let in_degraded = degraded_until.is_some();
+        let cost = match (&params.degraded, in_degraded) {
+            (Some(d), true) => d.effective_step_ns,
+            _ => step,
+        };
+
+        // A failure fires inside the very next step? Handle it exactly as
+        // the stepwise walk does.
+        if fi < fails.len() && (fails[fi].at.0 as i64) < wall + cost {
+            let f = fails[fi];
+            fi += 1;
+            failures_seen += 1;
+            let fat = (f.at.0 as i64).max(wall);
+            lost.replay_ns += fat - wall; // truncated partial step
+            wall = fat;
+            if open_failure_at.is_none() {
+                open_failure_at = Some(fat);
+            }
+            lost.detection_ns += det;
+            wall += det;
+            let mut restart_cost = overhead + read_ns;
+            match f.kind {
+                FailureKind::Transient { restart } => {
+                    restart_cost += restart.0 as i64;
+                }
+                FailureKind::Permanent { repair } => {
+                    let repair_at = fat + repair.0 as i64;
+                    match (&params.degraded, degraded_until) {
+                        (None, _) => {
+                            // Wait-for-restart: idle until the replacement.
+                            let waited = (repair_at - wall).max(0);
+                            lost.wait_ns += waited;
+                            wall += waited;
+                        }
+                        (Some(d), None) => {
+                            degraded_until = Some(repair_at.max(wall));
+                            lost.restart_ns += d.reshard_ns;
+                            wall += d.reshard_ns;
+                        }
+                        (Some(_), Some(t)) => {
+                            // A second loss while already degraded: extend
+                            // the repair horizon.
+                            degraded_until = Some(t.max(repair_at));
+                        }
+                    }
+                }
+            }
+            lost.restart_ns += restart_cost;
+            wall += restart_cost;
+            replay_target = replay_target.max(progress);
+            progress = committed;
+            if replay_target <= progress {
+                // Nothing to replay: the failure hit right on a checkpoint.
+                if let Some(at) = open_failure_at.take() {
+                    recoveries.push(wall - at);
+                }
+            }
+            continue;
+        }
+
+        // Jump: run as many steps as the stepwise walk would before the
+        // next event. `w(j)` is the wall at the loop top after `j` more
+        // steps — strictly increasing, so every cap is a binary search.
+        let p0 = progress;
+        let w = |j: u64| -> i64 { wall + j as i64 * cost + ckpts(p0, j) * spill };
+        let mut s: u64 = u64::from(n - p0);
+        let replaying = p0 < replay_target;
+        if replaying {
+            // The replay→step transition (and the recovery close) happens
+            // at the catch-up boundary.
+            s = s.min(u64::from(replay_target - p0));
+        }
+        if let Some(t) = degraded_until {
+            // The loop-top reshard-back fires at the first step boundary
+            // with `wall >= t`; the check above guarantees `w(0) < t`.
+            if w(s) >= t {
+                let (mut lo, mut hi) = (1u64, s);
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if w(mid) >= t {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                s = lo;
+            }
+        }
+        if fi < fails.len() {
+            // Step `j` (1-based) is failure-free iff `w(j-1) + cost <= at`;
+            // the loop-top check guarantees step 1 is safe.
+            let at = fails[fi].at.0 as i64;
+            if w(s - 1) + cost > at {
+                let (mut lo, mut hi) = (1u64, s); // lo safe, hi unsafe
+                while hi - lo > 1 {
+                    let mid = lo + (hi - lo) / 2;
+                    if w(mid - 1) + cost <= at {
+                        lo = mid;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                s = lo;
+            }
+        }
+
+        // Book the whole stretch in O(1) — per-step ledger constants times
+        // the jump length, spills by the boundary count.
+        if replaying {
+            lost.replay_ns += s as i64 * cost;
+            if u64::from(p0) + s == u64::from(replay_target) {
+                // The stepwise walk closes the recovery after the catch-up
+                // step's cost but before that step's own spill.
+                if let Some(at) = open_failure_at.take() {
+                    recoveries.push(wall + s as i64 * cost + ckpts(p0, s - 1) * spill - at);
+                }
+            }
+        } else if in_degraded {
+            lost.degraded_ns += s as i64 * (cost - step).max(0);
+        }
+        lost.spill_ns += ckpts(p0, s) * spill;
+        wall = w(s);
+        progress = p0 + s as u32;
+        committed = (progress / k) * k;
+    }
+
+    debug_assert_eq!(wall, n as i64 * step + lost.total());
+    Ok(LedgerOutcome {
+        horizon_steps: n,
+        step_ns: step,
+        wall_ns: wall,
+        lost,
+        failures_seen,
+        recoveries_ns: recoveries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optimus_cluster::{DurNs, TimeNs};
+    use optimus_lint::InsertSet;
+    use optimus_recovery::{
+        simulate_lifecycle, DegradedMode, DegradedPlan, Failure, FailureTrace, FailureTraceConfig,
+        GoodputReport, Hazard, PlacementPolicy,
+    };
+
+    /// A checkpoint plan literal the stepwise engine accepts; the claims and
+    /// insert set only matter to placement lint, not the lifecycle.
+    fn plan(k: u32, step: i64, write: i64, spill: i64) -> CheckpointPlan {
+        CheckpointPlan {
+            policy: PlacementPolicy::Bubble,
+            interval_steps: k,
+            num_ranks: 4,
+            bytes_per_rank: 1 << 20,
+            write_ns: write,
+            step_ns: step,
+            spill_ns: spill,
+            bubble_capacity_ns: vec![write / k as i64; 4],
+            claims: Vec::new(),
+            insert_set: InsertSet::default(),
+        }
+    }
+
+    fn assert_equivalent(
+        cplan: &CheckpointPlan,
+        trace: &FailureTrace,
+        params: &RecoveryParams,
+        horizon: u32,
+        what: &str,
+    ) {
+        let slow = simulate_lifecycle(cplan, trace, params, horizon).expect("stepwise");
+        let fast = fast_lifecycle(&LedgerPlan::of(cplan), trace, params, horizon).expect("fast");
+        assert_eq!(fast.wall_ns, slow.wall_ns, "{what}: wall");
+        assert_eq!(fast.lost, slow.lost, "{what}: lost ledger");
+        assert_eq!(fast.failures_seen, slow.failures_seen, "{what}: failures");
+        assert_eq!(fast.recoveries_ns, slow.recoveries_ns, "{what}: recoveries");
+        fast.audit().expect("audit");
+        assert_eq!(
+            fast.report(),
+            GoodputReport::from_outcome(&slow),
+            "{what}: report"
+        );
+    }
+
+    #[test]
+    fn matches_stepwise_on_fault_free_horizons() {
+        for (k, spill) in [(1u32, 0i64), (3, 0), (4, 700), (7, 1)] {
+            let p = plan(k, 1_000, 5_000, spill);
+            let trace = FailureTrace::new(Vec::new()).expect("empty trace");
+            assert_equivalent(
+                &p,
+                &trace,
+                &RecoveryParams::defaults(),
+                97,
+                &format!("fault-free k={k} spill={spill}"),
+            );
+            let fast = fast_lifecycle(&LedgerPlan::of(&p), &trace, &RecoveryParams::defaults(), 97)
+                .expect("fast");
+            assert_eq!(fast.wall_ns, LedgerPlan::of(&p).fault_free_wall_ns(97));
+        }
+    }
+
+    #[test]
+    fn matches_stepwise_under_generated_transient_and_permanent_faults() {
+        let params = RecoveryParams::defaults();
+        for seed in [1u64, 7, 2026] {
+            for permanent_every in [0u32, 3] {
+                for (k, spill) in [(4u32, 0i64), (4, 900), (6, 250)] {
+                    let p = plan(k, 10_000, 30_000, spill);
+                    let horizon: u32 = 400;
+                    let horizon_ns = LedgerPlan::of(&p).fault_free_wall_ns(horizon) * 2;
+                    let trace = FailureTrace::generate(&FailureTraceConfig {
+                        seed,
+                        horizon_ns: horizon_ns as u64,
+                        mtbf_ns: (horizon_ns / 9) as u64,
+                        num_devices: 4,
+                        restart: DurNs(20_000),
+                        repair: DurNs(200_000),
+                        permanent_every,
+                        hazard: Hazard::Exponential,
+                    })
+                    .expect("trace");
+                    assert!(trace.len() >= 4, "want a multi-failure trace");
+                    assert_equivalent(
+                        &p,
+                        &trace,
+                        &params,
+                        horizon,
+                        &format!("seed={seed} perm={permanent_every} k={k} spill={spill}"),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_stepwise_in_degraded_mode() {
+        // Permanent losses with an elastic plan: enter degraded, extend it
+        // on a second loss, leave it at a step boundary; transient faults
+        // inside and outside the degraded window.
+        let p = plan(5, 10_000, 40_000, 1_500);
+        let degraded = DegradedPlan {
+            mode: DegradedMode::ShrinkDp,
+            effective_step_ns: 13_000,
+            reshard_ns: 7_000,
+        };
+        let params = RecoveryParams {
+            degraded: Some(degraded),
+            ..RecoveryParams::defaults()
+        };
+        for seed in [3u64, 11, 42] {
+            let horizon: u32 = 300;
+            let horizon_ns = 3 * 300 * 10_000i64;
+            let trace = FailureTrace::generate(&FailureTraceConfig {
+                seed,
+                horizon_ns: horizon_ns as u64,
+                mtbf_ns: (horizon_ns / 8) as u64,
+                num_devices: 4,
+                restart: DurNs(15_000),
+                repair: DurNs(450_000),
+                permanent_every: 2,
+                hazard: Hazard::Exponential,
+            })
+            .expect("trace");
+            assert_equivalent(
+                &p,
+                &trace,
+                &params,
+                horizon,
+                &format!("degraded seed={seed}"),
+            );
+        }
+    }
+
+    #[test]
+    fn matches_stepwise_on_checkpoint_boundary_edge_cases() {
+        // Failures exactly on checkpoint instants and back-to-back failures
+        // inside one step exercise the zero-replay recovery close and the
+        // repeated-rollback path.
+        let p = plan(4, 1_000, 3_000, 500);
+        let mk = |at: u64, kind: FailureKind| Failure {
+            at: TimeNs(at),
+            device: 0,
+            kind,
+        };
+        let t = FailureTrace::new(vec![
+            // Right on the first checkpoint's durable instant (wall 4500).
+            mk(4_500, FailureKind::Transient { restart: DurNs(10) }),
+            // Two failures inside the same step.
+            mk(12_000, FailureKind::Transient { restart: DurNs(10) }),
+            mk(12_100, FailureKind::Transient { restart: DurNs(10) }),
+            // A permanent loss with a short repair (wait mode).
+            mk(20_000, FailureKind::Permanent { repair: DurNs(900) }),
+        ])
+        .expect("trace");
+        assert_equivalent(&p, &t, &RecoveryParams::defaults(), 40, "boundary cases");
+    }
+
+    #[test]
+    fn rejects_degenerate_plans_and_horizons() {
+        let good = LedgerPlan {
+            interval_steps: 2,
+            step_ns: 10,
+            write_ns: 5,
+            spill_ns: 5,
+        };
+        let trace = FailureTrace::new(Vec::new()).expect("trace");
+        assert!(fast_lifecycle(&good, &trace, &RecoveryParams::defaults(), 0).is_err());
+        for bad in [
+            LedgerPlan {
+                interval_steps: 0,
+                ..good
+            },
+            LedgerPlan { step_ns: 0, ..good },
+            LedgerPlan {
+                spill_ns: 6,
+                ..good
+            },
+            LedgerPlan {
+                write_ns: -1,
+                spill_ns: -1,
+                ..good
+            },
+        ] {
+            assert!(
+                fast_lifecycle(&bad, &trace, &RecoveryParams::defaults(), 10).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn month_long_horizon_runs_in_jumps_not_steps() {
+        // 2.6M steps, a few hundred failures: the stepwise walk would build
+        // millions of segments; the jump-walk books it near-instantly and
+        // still balances exactly.
+        let p = LedgerPlan {
+            interval_steps: 30,
+            step_ns: 1_000_000_000,
+            write_ns: 12_000_000_000,
+            spill_ns: 0,
+        };
+        let horizon: u32 = 2_592_000;
+        let trace = FailureTrace::generate(&FailureTraceConfig {
+            seed: 9,
+            horizon_ns: 6_000_000_000_000_000,
+            mtbf_ns: 20_000_000_000_000,
+            num_devices: 512,
+            restart: DurNs(2_000_000_000),
+            repair: DurNs(600_000_000_000),
+            permanent_every: 10,
+            hazard: Hazard::Exponential,
+        })
+        .expect("trace");
+        assert!(trace.len() > 100);
+        let out = fast_lifecycle(&p, &trace, &RecoveryParams::defaults(), horizon).expect("fast");
+        out.audit().expect("audit");
+        assert!(out.failures_seen > 100);
+        assert!(out.goodput() > 0.5 && out.goodput() < 1.0);
+    }
+}

@@ -44,7 +44,10 @@ pub use elastic::{
     ElasticOption,
 };
 pub use error::RecoveryError;
-pub use failure::{Failure, FailureKind, FailureTrace, FailureTraceConfig};
+pub use failure::{
+    ClassedFailure, ClassedTrace, ComponentSpec, Failure, FailureKind, FailureTrace,
+    FailureTraceConfig, Hazard,
+};
 pub use goodput::GoodputReport;
 pub use lifecycle::{
     engine_check, lower_timeline, simulate_lifecycle, timeline_text, LostWork, RecoveryOutcome,

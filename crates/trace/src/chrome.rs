@@ -172,6 +172,45 @@ pub fn write_chrome_trace_with_fill<W: Write>(
     out.write_all(Json::Arr(events).to_compact().as_bytes())
 }
 
+/// Serialises a *fault-event trace*: instant events only, no task graph.
+///
+/// Fleet-scale failure streams span hours to months — far beyond any single
+/// step's task timeline — so this writer emits just the fault track
+/// (category `fault`, track `Stream::COUNT`) and optionally the recovery
+/// track ([`RECOVERY_TID`], category `recovery`). The output is the same
+/// Chrome-trace subset the full writers produce, so
+/// `optimus-calibrate` ingests it unchanged — that round trip is how MTBF
+/// fits are tested against planted truth rates.
+pub fn write_fault_event_trace<W: Write>(
+    faults: &[TraceAnnotation],
+    recovery: &[TraceAnnotation],
+    mut out: W,
+) -> std::io::Result<()> {
+    let mut events = Vec::with_capacity(faults.len() + recovery.len());
+    let tracks = [
+        ("fault", ANNOTATION_TID, faults),
+        ("recovery", RECOVERY_TID, recovery),
+    ];
+    for (cat, tid, anns) in tracks {
+        for a in anns {
+            events.push(Json::obj(vec![
+                ("name", Json::from(a.label.clone())),
+                ("cat", Json::from(cat)),
+                ("ph", Json::from("i")),
+                ("s", Json::from("t")),
+                ("ts", Json::from(a.at_us)),
+                ("pid", Json::from(a.device)),
+                ("tid", Json::from(tid)),
+                (
+                    "args",
+                    Json::obj(vec![("detail", Json::from(a.detail.clone()))]),
+                ),
+            ]));
+        }
+    }
+    out.write_all(Json::Arr(events).to_compact().as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +379,45 @@ mod tests {
         assert_eq!(
             arr[2].field("name").unwrap().as_str().unwrap(),
             "fill eval chunk1"
+        );
+    }
+
+    #[test]
+    fn fault_event_trace_is_graphless_instants() {
+        let faults = [
+            TraceAnnotation {
+                label: "gpu".into(),
+                device: 3,
+                at_us: 120.0,
+                detail: "transient restart".into(),
+            },
+            TraceAnnotation {
+                label: "host".into(),
+                device: 7,
+                at_us: 950.5,
+                detail: "permanent repair".into(),
+            },
+        ];
+        let recovery = [TraceAnnotation {
+            label: "rollback".into(),
+            device: 3,
+            at_us: 130.0,
+            detail: "to ckpt 1".into(),
+        }];
+        let mut buf = Vec::new();
+        write_fault_event_trace(&faults, &recovery, &mut buf).unwrap();
+        let parsed = Json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let arr = parsed.as_arr().unwrap();
+        assert_eq!(arr.len(), 3);
+        assert!(arr
+            .iter()
+            .all(|ev| ev.field("ph").unwrap().as_str().unwrap() == "i"));
+        assert_eq!(arr[0].field("cat").unwrap().as_str().unwrap(), "fault");
+        assert_eq!(arr[0].field("name").unwrap().as_str().unwrap(), "gpu");
+        assert_eq!(arr[2].field("cat").unwrap().as_str().unwrap(), "recovery");
+        assert_eq!(
+            arr[2].field("tid").unwrap().as_f64().unwrap(),
+            RECOVERY_TID as f64
         );
     }
 

@@ -34,6 +34,12 @@
 //! * [`fill`] — multi-tenant bubble-fill planning: packing independent
 //!   fill jobs (eval, preprocessing, best-effort tenants) into proven-idle
 //!   bubbles under a slack budget, with cluster-goodput pricing;
+//! * [`fleet`] — the fleet-scale resilience what-if engine: deterministic
+//!   Monte Carlo over MTBF-calibrated failure traces priced by an exact
+//!   `O(failures · log steps)` lifecycle ledger, a Young/Daly checkpoint
+//!   solver cross-checked against golden-section search over that ledger,
+//!   and p50/p99 goodput frontiers over cluster size × MTBF × checkpoint
+//!   policy × elastic mode;
 //! * [`chaos`] — adversarial search over the perturbation space (faults,
 //!   degradations, stragglers, microbatch skew), scoring plans by regret,
 //!   lint violations, and recovery-ledger exactness, with property-test
@@ -69,6 +75,7 @@ pub use optimus_cluster as cluster;
 pub use optimus_core as core;
 pub use optimus_faults as faults;
 pub use optimus_fill as fill;
+pub use optimus_fleet as fleet;
 pub use optimus_lint as lint;
 pub use optimus_modeling as modeling;
 pub use optimus_parallel as parallel;

@@ -19,7 +19,7 @@ use optimus::parallel::ParallelPlan;
 use optimus::recovery::{
     engine_check, plan_checkpoints, plan_elastic, simulate_lifecycle, timeline_text,
     CheckpointConfig, CheckpointPlan, Failure, FailureKind, FailureTrace, FailureTraceConfig,
-    GoodputReport, RecoveryParams,
+    GoodputReport, Hazard, RecoveryParams,
 };
 
 const HORIZON: u32 = 24;
@@ -64,6 +64,7 @@ fn multi_fault_trace(plan: &CheckpointPlan) -> FailureTrace {
         restart: DurNs::from_millis(50),
         repair: DurNs::from_millis(800),
         permanent_every: 3,
+        hazard: Hazard::Uniform,
     })
     .expect("trace")
 }

@@ -14,7 +14,7 @@ use optimus::modeling::{MllmConfig, Workload};
 use optimus::parallel::ParallelPlan;
 use optimus::recovery::{
     plan_checkpoints, CheckpointConfig, CheckpointPlan, Failure, FailureKind, FailureTrace,
-    FailureTraceConfig,
+    FailureTraceConfig, Hazard,
 };
 use optimus_detrand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -108,6 +108,7 @@ fn generated_traces_are_seed_deterministic() {
         restart: DurNs::from_millis(50),
         repair: DurNs::from_millis(800),
         permanent_every: 3,
+        hazard: Hazard::Uniform,
     };
     let a = FailureTrace::generate(&cfg(42)).expect("trace");
     let b = FailureTrace::generate(&cfg(42)).expect("trace");
